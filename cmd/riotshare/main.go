@@ -1,0 +1,170 @@
+// Command riotshare optimizes and runs the built-in benchmark programs
+// from the command line.
+//
+// Usage:
+//
+//	riotshare analyze  -prog addmul          # dependences and sharing opportunities
+//	riotshare optimize -prog twomm-a -mem 1000   # plan table under a memory cap (MB)
+//	riotshare codegen  -prog addmul          # pseudo-code of the best plan
+//	riotshare run      -prog linreg -plan 0  # execute a plan on synthetic data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"riotshare"
+	"riotshare/internal/bench"
+	"riotshare/internal/core"
+	"riotshare/internal/deps"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "riotshare:", err)
+		os.Exit(1)
+	}
+}
+
+func programByName(name string) (*riotshare.Program, error) {
+	switch name {
+	case "addmul":
+		return bench.AddMulPaper(), nil
+	case "twomm-a":
+		return bench.TwoMMPaperA(), nil
+	case "twomm-b":
+		return bench.TwoMMPaperB(), nil
+	case "linreg":
+		return bench.LinRegPaper(), nil
+	default:
+		return nil, fmt.Errorf("unknown program %q (addmul, twomm-a, twomm-b, linreg)", name)
+	}
+}
+
+func run() error {
+	if len(os.Args) < 2 {
+		return fmt.Errorf("subcommand required: analyze, optimize, codegen, run")
+	}
+	sub := os.Args[1]
+	fs := flag.NewFlagSet(sub, flag.ExitOnError)
+	progName := fs.String("prog", "addmul", "program: addmul, twomm-a, twomm-b, linreg")
+	memMB := fs.Int64("mem", 0, "memory cap in MB (0 = unlimited)")
+	planIdx := fs.Int("plan", -1, "plan index for run (-1 = best)")
+	full := fs.Bool("full", false, "full plan-space search (slow for linreg)")
+	asJSON := fs.Bool("json", false, "emit the lowered plan as JSON (codegen subcommand)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		return err
+	}
+	p, err := programByName(*progName)
+	if err != nil {
+		return err
+	}
+	optimize := func() (*riotshare.Result, error) {
+		if !*full && *progName == "linreg" {
+			return riotshare.OptimizeSubsets(p, core.Options{
+				BindParams:  true,
+				MemCapBytes: *memMB << 20,
+			}, bench.LinRegSelectedPlans())
+		}
+		return riotshare.Optimize(p, core.Options{BindParams: true, MemCapBytes: *memMB << 20})
+	}
+
+	switch sub {
+	case "analyze":
+		an, err := deps.Analyze(p, deps.Options{BindParams: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("program %s: %d statements, %d dependences, %d sharing opportunities\n",
+			p.Name, len(p.Stmts), len(an.Deps), len(an.Shares))
+		fmt.Println("dependences:")
+		for _, d := range an.Deps {
+			fmt.Printf("  %s\n", d)
+		}
+		fmt.Println("sharing opportunities:")
+		for _, s := range an.Shares {
+			fmt.Printf("  %s\n", s)
+		}
+		return nil
+
+	case "optimize":
+		res, err := optimize()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("program %s: %d plans in %v (%d FindSchedule calls)\n",
+			p.Name, len(res.Plans), res.OptimizeTime, res.SearchStats.FindScheduleCalls)
+		fmt.Printf("%-5s %-10s %-10s %s\n", "plan", "mem(MB)", "I/O(s)", "sharing set")
+		for _, pl := range res.Plans {
+			marker := " "
+			if res.Best != nil && pl.Index == res.Best.Index {
+				marker = "*"
+			}
+			fmt.Printf("%-4d%s %-10.0f %-10.0f %s\n", pl.Index, marker,
+				float64(pl.Cost.PeakMemoryBytes)/(1<<20), pl.Cost.IOTimeSec, pl.Label)
+		}
+		return nil
+
+	case "codegen":
+		res, err := optimize()
+		if err != nil {
+			return err
+		}
+		if res.Best == nil {
+			return fmt.Errorf("no plan fits the memory cap")
+		}
+		if *asJSON {
+			return res.Best.Timeline.WriteJSON(os.Stdout)
+		}
+		fmt.Printf("best plan %s\nschedule:\n%s\npseudo-code:\n%s",
+			res.Best.Label, res.Best.Plan.Schedule.StringFor(p), riotshare.Pseudocode(res.Best))
+		return nil
+
+	case "run":
+		res, err := optimize()
+		if err != nil {
+			return err
+		}
+		pl := res.Best
+		if *planIdx >= 0 {
+			if *planIdx >= len(res.Plans) {
+				return fmt.Errorf("plan %d out of range (%d plans)", *planIdx, len(res.Plans))
+			}
+			pl = &res.Plans[*planIdx]
+		}
+		if pl == nil {
+			return fmt.Errorf("no plan fits the memory cap")
+		}
+		dir, err := os.MkdirTemp("", "riotshare-run-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		store, err := riotshare.NewStorage(dir, riotshare.FormatDAF)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		if err := store.CreateAll(p); err != nil {
+			return err
+		}
+		if _, err := bench.FillInputs(p, store, 1); err != nil {
+			return err
+		}
+		r, err := riotshare.Execute(pl, store, riotshare.PaperDiskModel(), *memMB<<20)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan %d %s\n", pl.Index, pl.Label)
+		fmt.Printf("predicted I/O: %.0fs  measured (simulated) I/O: %.0fs\n", pl.Cost.IOTimeSec, r.SimulatedIOSec)
+		fmt.Printf("read %.1fGB in %d requests, wrote %.1fGB in %d requests\n",
+			float64(r.ReadBytes)/(1<<30), r.ReadReqs, float64(r.WriteBytes)/(1<<30), r.WriteReqs)
+		fmt.Printf("peak memory %.0fMB, kernel CPU %v\n",
+			float64(r.PeakMemoryBytes)/(1<<20), r.CPUTime)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}

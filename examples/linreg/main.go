@@ -1,0 +1,122 @@
+// Ordinary least squares out of core (§6.3): the seven-step program
+// U = XᵀX; V = XᵀY; W = U⁻¹; β̂ = W·V; Ŷ = X·β̂; E = Y − Ŷ; R = RSS(E)
+// is optimized as one unit. The best plan shares the reads of X between
+// the two upstream multiplications and pipelines every intermediate,
+// cutting I/O ~44% for ~6% more memory (Figure 6). The example executes
+// the plan on synthetic data drawn from a known linear model and checks
+// that the recovered coefficients match.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"riotshare"
+	"riotshare/internal/bench"
+	"riotshare/internal/blas"
+)
+
+func main() {
+	// Small physical instance of the Table 4 shape: 6 row blocks of X
+	// (64×8 elements each), 3 response columns.
+	p := riotshare.LinReg(riotshare.LinRegConfig{
+		N:      6,
+		XBlock: riotshare.Dims{Rows: 64, Cols: 8},
+		YBlock: riotshare.Dims{Rows: 64, Cols: 3},
+	})
+	res, err := riotshare.OptimizeSubsets(p, riotshare.Options{BindParams: true},
+		bench.LinRegSelectedPlans())
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := res.Baseline()
+	best := &res.Plans[0]
+	fmt.Printf("plan 0 (no sharing):  %12d I/O bytes, %8d bytes memory\n",
+		base.Cost.ReadBytes+base.Cost.WriteBytes, base.Cost.PeakMemoryBytes)
+	fmt.Printf("best plan:            %12d I/O bytes, %8d bytes memory\n",
+		best.Cost.ReadBytes+best.Cost.WriteBytes, best.Cost.PeakMemoryBytes)
+	fmt.Printf("I/O saving: %.1f%%  (%s)\n\n",
+		(1-float64(best.Cost.ReadBytes+best.Cost.WriteBytes)/
+			float64(base.Cost.ReadBytes+base.Cost.WriteBytes))*100, best.Label)
+
+	// Generate y = X·β + noise with known β.
+	dir, err := os.MkdirTemp("", "riotshare-linreg-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := riotshare.NewStorage(dir, riotshare.FormatLABTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.CreateAll(p); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	xa, ya := p.Arrays["X"], p.Arrays["Y"]
+	rows := xa.BlockRows * xa.GridRows
+	m, k := xa.BlockCols, ya.BlockCols
+	x := blas.NewMatrix(rows, m)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	trueBeta := blas.NewMatrix(m, k)
+	for i := range trueBeta.Data {
+		trueBeta.Data[i] = float64(i%5) - 2
+	}
+	y := blas.NewMatrix(rows, k)
+	blas.Gemm(y, x, false, trueBeta, false)
+	for i := range y.Data {
+		y.Data[i] += 0.01 * rng.NormFloat64()
+	}
+	writeBlocks := func(name string, fm *blas.Matrix) {
+		arr := p.Arrays[name]
+		for br := 0; br < arr.GridRows; br++ {
+			blk := blas.NewMatrix(arr.BlockRows, arr.BlockCols)
+			for r := 0; r < arr.BlockRows; r++ {
+				for c := 0; c < arr.BlockCols; c++ {
+					blk.Set(r, c, fm.At(br*arr.BlockRows+r, c))
+				}
+			}
+			if err := store.WriteBlock(name, int64(br), 0, blk); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	writeBlocks("X", x)
+	writeBlocks("Y", y)
+
+	r, err := riotshare.Execute(best, store, riotshare.PaperDiskModel(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed best plan: %d reads, %d writes, kernels %v\n",
+		r.ReadReqs, r.WriteReqs, r.CPUTime)
+
+	bh, err := store.ReadBlock("Bh", 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxErr float64
+	for i := range bh.Data {
+		d := bh.Data[i] - trueBeta.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	rss, err := store.ReadBlock("R", 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max |β̂ - β_true| = %.4f (noise σ=0.01); RSS per column: %v\n", maxErr, rss.Data)
+	if maxErr > 0.05 {
+		log.Fatal("regression failed to recover the model")
+	}
+	fmt.Println("OK")
+}

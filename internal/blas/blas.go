@@ -1,0 +1,289 @@
+// Package blas provides the in-core dense kernels the execution engine runs
+// on memory-resident blocks: GEMM with transpose flags (cache-blocked),
+// addition, subtraction, LU-based inversion, and residual sums of squares.
+// It substitutes for GotoBLAS2 [15] (DESIGN.md substitution S6); absolute
+// FLOP rates differ from the paper's, but the paper's conclusions depend
+// only on CPU time being constant across plans, which holds here.
+package blas
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears the matrix in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Add computes dst = a + b elementwise; shapes must match.
+func Add(dst, a, b *Matrix) {
+	checkSame(a, b)
+	checkSame(dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub(dst, a, b *Matrix) {
+	checkSame(a, b)
+	checkSame(dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Scale computes dst = alpha * a.
+func Scale(dst *Matrix, alpha float64, a *Matrix) {
+	checkSame(dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = alpha * a.Data[i]
+	}
+}
+
+func checkSame(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("blas: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// gemmTile is the cache-blocking tile edge for Gemm.
+const gemmTile = 64
+
+// Gemm computes dst += op(a)·op(b), where op transposes its argument when
+// the corresponding flag is set. dst must already have the product shape;
+// use dst.Zero() first for a plain product. The kernel is tiled for cache
+// locality (the in-core analogue of the paper's I/O blocking).
+func Gemm(dst *Matrix, a *Matrix, transA bool, b *Matrix, transB bool) {
+	ar, ac := a.Rows, a.Cols
+	if transA {
+		ar, ac = ac, ar
+	}
+	br, bc := b.Rows, b.Cols
+	if transB {
+		br, bc = bc, br
+	}
+	if ac != br {
+		panic(fmt.Sprintf("blas: gemm inner dims %d vs %d", ac, br))
+	}
+	if dst.Rows != ar || dst.Cols != bc {
+		panic(fmt.Sprintf("blas: gemm dst %dx%d want %dx%d", dst.Rows, dst.Cols, ar, bc))
+	}
+	at := func(i, k int) float64 {
+		if transA {
+			return a.Data[k*a.Cols+i]
+		}
+		return a.Data[i*a.Cols+k]
+	}
+	bt := func(k, j int) float64 {
+		if transB {
+			return b.Data[j*b.Cols+k]
+		}
+		return b.Data[k*b.Cols+j]
+	}
+	for ii := 0; ii < ar; ii += gemmTile {
+		iMax := min(ii+gemmTile, ar)
+		for kk := 0; kk < ac; kk += gemmTile {
+			kMax := min(kk+gemmTile, ac)
+			for jj := 0; jj < bc; jj += gemmTile {
+				jMax := min(jj+gemmTile, bc)
+				for i := ii; i < iMax; i++ {
+					for k := kk; k < kMax; k++ {
+						av := at(i, k)
+						if av == 0 {
+							continue
+						}
+						row := dst.Data[i*dst.Cols:]
+						for j := jj; j < jMax; j++ {
+							row[j] += av * bt(k, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// GemmNaive is the untiled triple loop, kept for the kernel ablation and as
+// a correctness oracle in tests.
+func GemmNaive(dst *Matrix, a *Matrix, transA bool, b *Matrix, transB bool) {
+	ar, ac := a.Rows, a.Cols
+	if transA {
+		ar, ac = ac, ar
+	}
+	bc := b.Cols
+	if transB {
+		bc = b.Rows
+	}
+	at := func(i, k int) float64 {
+		if transA {
+			return a.Data[k*a.Cols+i]
+		}
+		return a.Data[i*a.Cols+k]
+	}
+	bt := func(k, j int) float64 {
+		if transB {
+			return b.Data[j*b.Cols+k]
+		}
+		return b.Data[k*b.Cols+j]
+	}
+	for i := 0; i < ar; i++ {
+		for j := 0; j < bc; j++ {
+			s := dst.At(i, j)
+			for k := 0; k < ac; k++ {
+				s += at(i, k) * bt(k, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+}
+
+// LU computes an in-place LU decomposition with partial pivoting, returning
+// the pivot permutation. a must be square.
+func LU(a *Matrix) (piv []int, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("blas: LU of non-square %dx%d", a.Rows, a.Cols)
+	}
+	piv = make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Pivot selection.
+		p, best := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				p, best = r, v
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("blas: singular matrix at column %d", col)
+		}
+		if p != col {
+			piv[p], piv[col] = piv[col], piv[p]
+			for j := 0; j < n; j++ {
+				v1, v2 := a.At(col, j), a.At(p, j)
+				a.Set(col, j, v2)
+				a.Set(p, j, v1)
+			}
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			a.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+			}
+		}
+	}
+	return piv, nil
+}
+
+// Inverse computes dst = a^{-1} via LU with partial pivoting; a is not
+// modified.
+func Inverse(dst, a *Matrix) error {
+	n := a.Rows
+	if a.Cols != n || dst.Rows != n || dst.Cols != n {
+		return fmt.Errorf("blas: inverse shape mismatch")
+	}
+	lu := a.Clone()
+	piv, err := LU(lu)
+	if err != nil {
+		return err
+	}
+	// Solve LU x = e_piv for each unit vector.
+	col := make([]float64, n)
+	for e := 0; e < n; e++ {
+		for i := 0; i < n; i++ {
+			if piv[i] == e {
+				col[i] = 1
+			} else {
+				col[i] = 0
+			}
+		}
+		// Forward substitution (L has unit diagonal).
+		for i := 1; i < n; i++ {
+			s := col[i]
+			for j := 0; j < i; j++ {
+				s -= lu.At(i, j) * col[j]
+			}
+			col[i] = s
+		}
+		// Back substitution.
+		for i := n - 1; i >= 0; i-- {
+			s := col[i]
+			for j := i + 1; j < n; j++ {
+				s -= lu.At(i, j) * col[j]
+			}
+			col[i] = s / lu.At(i, i)
+		}
+		for i := 0; i < n; i++ {
+			dst.Set(i, e, col[i])
+		}
+	}
+	return nil
+}
+
+// RSS accumulates per-column residual sums of squares of e into dst (a 1×k
+// row vector): dst[0,j] += Σ_i e[i,j]^2.
+func RSS(dst, e *Matrix) {
+	if dst.Cols != e.Cols || dst.Rows != 1 {
+		panic("blas: RSS dst must be 1×cols of e")
+	}
+	for i := 0; i < e.Rows; i++ {
+		for j := 0; j < e.Cols; j++ {
+			v := e.At(i, j)
+			dst.Data[j] += v * v
+		}
+	}
+}
+
+// MaxAbsDiff returns the max absolute elementwise difference, for tests.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	checkSame(a, b)
+	var m float64
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

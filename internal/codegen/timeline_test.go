@@ -1,0 +1,218 @@
+package codegen
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"riotshare/internal/deps"
+	"riotshare/internal/ops"
+	"riotshare/internal/prog"
+	"riotshare/internal/sched"
+)
+
+func addMulSetup(t *testing.T, n1, n2, n3 int64) (*deps.Analysis, *sched.Searcher) {
+	t.Helper()
+	p := ops.AddMul(ops.AddMulConfig{
+		N1: n1, N2: n2, N3: n3,
+		ABBlock: ops.Dims{Rows: 4, Cols: 4},
+		DBlock:  ops.Dims{Rows: 4, Cols: 4},
+	})
+	an, err := deps.Analyze(p, deps.Options{BindParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an, sched.NewSearcher(an)
+}
+
+func lower(t *testing.T, an *deps.Analysis, s *sched.Searcher, names ...string) *Timeline {
+	t.Helper()
+	var q []*deps.CoAccess
+	var idxs []int
+	for _, n := range names {
+		c := an.FindShare(n)
+		if c == nil {
+			t.Fatalf("missing share %s", n)
+		}
+		q = append(q, c)
+		for i, sh := range an.Shares {
+			if sh == c {
+				idxs = append(idxs, i)
+			}
+		}
+	}
+	schd, ok := s.FindSchedule(q)
+	if !ok {
+		t.Fatalf("combination %v infeasible", names)
+	}
+	tl, err := Lower(an, sched.Plan{Shares: idxs, Schedule: schd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestLowerBaselineOrder(t *testing.T) {
+	an, s := addMulSetup(t, 2, 3, 1)
+	tl := lower(t, an, s)
+	// Event count: s1 has 6 instances, s2 has 6.
+	if len(tl.Events) != 12 {
+		t.Fatalf("want 12 events, got %d", len(tl.Events))
+	}
+	// Times strictly increasing.
+	for i := 1; i < len(tl.Events); i++ {
+		if prog.LexCompare(tl.Events[i-1].Time, tl.Events[i].Time) >= 0 {
+			t.Fatal("events not strictly ordered")
+		}
+	}
+	// Baseline has no holds and no memory/elided actions.
+	if len(tl.Holds) != 0 {
+		t.Fatalf("baseline should have no holds, got %d", len(tl.Holds))
+	}
+	for i, acts := range tl.Actions {
+		for ai, a := range acts {
+			if a == FromMemory {
+				t.Fatalf("baseline event %d access %d is FromMemory", i, ai)
+			}
+		}
+	}
+}
+
+func TestLowerGuardedAccessInactive(t *testing.T) {
+	an, s := addMulSetup(t, 2, 3, 1)
+	tl := lower(t, an, s)
+	// s2's accumulator read (access 2) is inactive exactly at k=0.
+	for i, ev := range tl.Events {
+		if ev.St.Name != "s2" {
+			continue
+		}
+		k := ev.X[2]
+		got := tl.Actions[i][2]
+		if k == 0 && got != Inactive {
+			t.Fatalf("E read at k=0 should be Inactive, got %v", got)
+		}
+		if k > 0 && got == Inactive {
+			t.Fatal("E read at k>0 should be active")
+		}
+	}
+}
+
+func TestLowerSharingActions(t *testing.T) {
+	an, s := addMulSetup(t, 2, 3, 1)
+	tl := lower(t, an, s, "s1WC→s2RC", "s2WE→s2RE", "s2WE→s2WE")
+	var fromMem, elided int
+	for i, acts := range tl.Actions {
+		for ai, a := range acts {
+			switch a {
+			case FromMemory:
+				fromMem++
+			case Elided:
+				if tl.Events[i].St.Accesses[ai].Type != prog.Write {
+					t.Fatal("only writes can be elided")
+				}
+				elided++
+			}
+		}
+	}
+	// C reads (6) + E accumulator reads (2 per (i,j): k=1,2 → 4... n2=3:
+	// reads at k=1,2 = 2 per (i,j), 2 i's, 1 j → 4) served from memory.
+	if fromMem != 10 {
+		t.Errorf("want 10 FromMemory actions, got %d", fromMem)
+	}
+	// E intermediate writes (k=0,1 for each of 2 blocks = 4) elided, plus
+	// all 6 C writes dead (transient, never read from disk).
+	if elided != 10 {
+		t.Errorf("want 10 Elided actions, got %d", elided)
+	}
+	if len(tl.Holds) == 0 {
+		t.Fatal("sharing plan must hold blocks")
+	}
+	for _, h := range tl.Holds {
+		if h.EndEvent < h.StartEvent {
+			t.Fatal("hold interval reversed")
+		}
+	}
+}
+
+// A W→W share without the corresponding W→R share must not elide writes
+// whose value a disk read still needs.
+func TestLowerWWAloneKeepsNeededWrites(t *testing.T) {
+	an, s := addMulSetup(t, 2, 3, 1)
+	tl := lower(t, an, s, "s2WE→s2WE")
+	// The accumulator reads at k>=1 are disk reads here, so no E write
+	// before the last k may be elided.
+	for i, ev := range tl.Events {
+		if ev.St.Name != "s2" {
+			continue
+		}
+		if ev.X[2] < 2 && tl.Actions[i][3] == Elided {
+			t.Fatalf("write at k=%d elided although its value is read from disk", ev.X[2])
+		}
+	}
+}
+
+func TestPseudocodeStructure(t *testing.T) {
+	an, s := addMulSetup(t, 3, 4, 2)
+	tl := lower(t, an, s, "s1WC→s2RC", "s2WE→s2RE", "s2WE→s2WE")
+	code := tl.Pseudocode()
+	if !strings.Contains(code, "for ") {
+		t.Fatalf("no loops recovered:\n%s", code)
+	}
+	// The general-case plan (n3=2) has the fused j=0 phase and the j>=1
+	// phase — two top-level sections, like Figure 1(b).
+	if !strings.Contains(code, "s1") || !strings.Contains(code, "s2") {
+		t.Fatalf("statements missing:\n%s", code)
+	}
+	t.Logf("\n%s", code)
+}
+
+func TestTimelineString(t *testing.T) {
+	an, s := addMulSetup(t, 2, 2, 1)
+	tl := lower(t, an, s)
+	out := tl.String()
+	if !strings.Contains(out, "events") {
+		t.Fatal("String() should summarize")
+	}
+}
+
+func TestBlockKeyDisambiguation(t *testing.T) {
+	// "Y" must not match "Yh" keys.
+	a := BlockKey("Y", 1, 0)
+	b := BlockKey("Yh", 1, 0)
+	if a == b {
+		t.Fatal("keys must differ")
+	}
+	if !strings.HasPrefix(b, "Yh[") {
+		t.Fatal("key format changed")
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	an, s := addMulSetup(t, 2, 2, 1)
+	tl := lower(t, an, s, "s1WC→s2RC")
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ExportedPlan
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != "addmul" || len(back.Events) != len(tl.Events) {
+		t.Fatalf("round trip wrong: %s %d", back.Program, len(back.Events))
+	}
+	if len(back.Holds) != len(tl.Holds) {
+		t.Fatal("holds missing in export")
+	}
+	// Actions must use the stable names.
+	seen := map[string]bool{}
+	for _, ev := range back.Events {
+		for _, a := range ev.Actions {
+			seen[a] = true
+		}
+	}
+	if !seen["io"] || !seen["memory"] {
+		t.Fatalf("expected io and memory actions, got %v", seen)
+	}
+}

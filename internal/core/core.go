@@ -1,0 +1,287 @@
+// Package core is RIOTShare's optimizer end to end (Figure 2): it runs
+// sharing-opportunity analysis, enumerates legal plans with the
+// Apriori-style search, lowers each to an executable timeline, costs it,
+// and picks the cheapest plan that fits the memory cap. This is the paper's
+// primary contribution assembled from the substrate packages.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"riotshare/internal/codegen"
+	"riotshare/internal/cost"
+	"riotshare/internal/deps"
+	"riotshare/internal/disk"
+	"riotshare/internal/prog"
+	"riotshare/internal/sched"
+)
+
+// Options configures optimization.
+type Options struct {
+	// MemCapBytes is the explicit memory cap (§4.2); 0 means unlimited.
+	MemCapBytes int64
+	// Model converts I/O volumes to time; zero value uses the paper's rates.
+	Model disk.Model
+	// BindParams makes the analysis drop opportunities that are empty for
+	// the program's bound parameter values (the paper's per-configuration
+	// analysis, e.g. n3=1 removing s2RC→s2RC).
+	BindParams bool
+	// MaxCalls bounds the Apriori search (0 = default).
+	MaxCalls int
+	// NoPruning disables the Apriori property (ablation).
+	NoPruning bool
+	// SkipMultiplicityReduction disables Remark A.1 (ablation).
+	SkipMultiplicityReduction bool
+}
+
+// EvaluatedPlan is one legal plan with its cost.
+type EvaluatedPlan struct {
+	Index    int
+	Plan     sched.Plan
+	Timeline *codegen.Timeline
+	Cost     cost.Cost
+	// Label lists the realized sharing opportunities.
+	Label string
+}
+
+// Result is the optimizer output.
+type Result struct {
+	Analysis *deps.Analysis
+	Searcher *sched.Searcher
+	// Plans holds every legal plan, sorted by I/O time ascending.
+	Plans []EvaluatedPlan
+	// Best is the cheapest plan fitting the memory cap (nil if none fits).
+	Best *EvaluatedPlan
+	// OptimizeTime is the wall-clock optimization time (§6's "A Note on
+	// Optimization Time").
+	OptimizeTime time.Duration
+	// SearchStats reports search effort.
+	SearchStats sched.Stats
+}
+
+// Optimize runs the full pipeline on a program whose parameters are bound.
+func Optimize(p *prog.Program, opt Options) (*Result, error) {
+	start := time.Now()
+	model := opt.Model
+	if model.ReadBytesPerSec == 0 {
+		model = disk.PaperModel()
+	}
+	an, err := deps.Analyze(p, deps.Options{
+		BindParams:                opt.BindParams,
+		SkipMultiplicityReduction: opt.SkipMultiplicityReduction,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis: %w", err)
+	}
+	searcher := sched.NewSearcher(an)
+	plans, err := searcher.Search(sched.SearchOptions{MaxCalls: opt.MaxCalls, NoPruning: opt.NoPruning})
+	if err != nil {
+		return nil, fmt.Errorf("core: search: %w", err)
+	}
+	res := &Result{Analysis: an, Searcher: searcher}
+	evaluated, err := lowerAndCostAll(an, plans, model)
+	if err != nil {
+		return nil, err
+	}
+	res.Plans = evaluated
+	sort.SliceStable(res.Plans, func(i, j int) bool {
+		return res.Plans[i].Cost.IOTimeSec < res.Plans[j].Cost.IOTimeSec
+	})
+	for i := range res.Plans {
+		res.Plans[i].Index = i
+		if res.Best == nil &&
+			(opt.MemCapBytes == 0 || res.Plans[i].Cost.PeakMemoryBytes <= opt.MemCapBytes) {
+			res.Best = &res.Plans[i]
+		}
+	}
+	res.SearchStats = searcher.Stats
+	res.OptimizeTime = time.Since(start)
+	return res, nil
+}
+
+// lowerAndCostAll lowers and costs every plan concurrently (plans are
+// independent; lowering enumerates instances and costing sums them, which
+// dominates optimization time when the feasible combination space is large,
+// e.g. the ~16k linear-regression plans).
+func lowerAndCostAll(an *deps.Analysis, plans []sched.Plan, model disk.Model) ([]EvaluatedPlan, error) {
+	out := make([]EvaluatedPlan, len(plans))
+	errs := make([]error, len(plans))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(plans) {
+					return
+				}
+				pl := plans[i]
+				tl, err := codegen.Lower(an, pl)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: lowering plan %s: %w", pl.Label(an), err)
+					continue
+				}
+				out[i] = EvaluatedPlan{
+					Plan: pl, Timeline: tl, Cost: cost.Evaluate(tl, model), Label: pl.Label(an),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// OptimizeSubsets evaluates only the given sharing-opportunity
+// combinations (each a list of display names like "s1WC→s2RC"), skipping
+// the Apriori enumeration. The empty combination (baseline) is always
+// included. Used by the selected-plan experiments (Figures 4(b), 5(b),
+// 6(b)) and anywhere the caller already knows the plans of interest.
+func OptimizeSubsets(p *prog.Program, opt Options, subsets [][]string) (*Result, error) {
+	start := time.Now()
+	model := opt.Model
+	if model.ReadBytesPerSec == 0 {
+		model = disk.PaperModel()
+	}
+	an, err := deps.Analyze(p, deps.Options{
+		BindParams:                opt.BindParams,
+		SkipMultiplicityReduction: opt.SkipMultiplicityReduction,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis: %w", err)
+	}
+	searcher := sched.NewSearcher(an)
+	all := append([][]string{{}}, subsets...)
+	res := &Result{Analysis: an, Searcher: searcher}
+	for _, names := range all {
+		var q []*deps.CoAccess
+		var idxs []int
+		missing := false
+		for _, n := range names {
+			c := an.FindShare(n)
+			if c == nil {
+				missing = true
+				break
+			}
+			q = append(q, c)
+			for i, s := range an.Shares {
+				if s == c {
+					idxs = append(idxs, i)
+				}
+			}
+		}
+		if missing {
+			return nil, fmt.Errorf("core: unknown sharing opportunity in %v (have %v)", names, an.ShareStrings())
+		}
+		schd, ok := searcher.FindSchedule(q)
+		if !ok {
+			return nil, fmt.Errorf("core: combination %v is infeasible", names)
+		}
+		pl := sched.Plan{Shares: idxs, Schedule: schd}
+		tl, err := codegen.Lower(an, pl)
+		if err != nil {
+			return nil, fmt.Errorf("core: lowering %v: %w", names, err)
+		}
+		res.Plans = append(res.Plans, EvaluatedPlan{
+			Plan: pl, Timeline: tl, Cost: cost.Evaluate(tl, model), Label: pl.Label(an),
+		})
+	}
+	sort.SliceStable(res.Plans, func(i, j int) bool {
+		return res.Plans[i].Cost.IOTimeSec < res.Plans[j].Cost.IOTimeSec
+	})
+	for i := range res.Plans {
+		res.Plans[i].Index = i
+		if res.Best == nil &&
+			(opt.MemCapBytes == 0 || res.Plans[i].Cost.PeakMemoryBytes <= opt.MemCapBytes) {
+			res.Best = &res.Plans[i]
+		}
+	}
+	res.SearchStats = searcher.Stats
+	res.OptimizeTime = time.Since(start)
+	return res, nil
+}
+
+// Baseline returns the plan realizing no sharing opportunities (the
+// original program's cost; Plan 0 in the paper's figures).
+func (r *Result) Baseline() *EvaluatedPlan {
+	for i := range r.Plans {
+		if len(r.Plans[i].Plan.Shares) == 0 {
+			return &r.Plans[i]
+		}
+	}
+	return nil
+}
+
+// PlanBySharing finds a plan realizing exactly the named opportunities.
+func (r *Result) PlanBySharing(names ...string) *EvaluatedPlan {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	for i := range r.Plans {
+		pl := &r.Plans[i]
+		if len(pl.Plan.Shares) != len(names) {
+			continue
+		}
+		all := true
+		for _, idx := range pl.Plan.Shares {
+			if !want[r.Analysis.Shares[idx].String()] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return pl
+		}
+	}
+	return nil
+}
+
+// BlockSizeChoice is one evaluated (block shape, plan) combination from the
+// joint optimizer.
+type BlockSizeChoice struct {
+	Scale  float64 // row-scaling factor applied to the base block shape
+	Result *Result
+	Best   *EvaluatedPlan
+}
+
+// OptimizeBlockSize implements the future-work extension sketched in §7 (and
+// the ♣ experiment of §6.1): it co-optimizes the array block size with I/O
+// sharing by sweeping scaling factors over a program-template builder and
+// returning the evaluated choices, best first. build must return the
+// program for a given scale.
+func OptimizeBlockSize(build func(scale float64) *prog.Program, scales []float64, opt Options) ([]BlockSizeChoice, error) {
+	var out []BlockSizeChoice
+	for _, s := range scales {
+		r, err := Optimize(build(s), opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: block-size scale %.2f: %w", s, err)
+		}
+		if r.Best == nil {
+			continue // no plan fits the cap at this block size
+		}
+		out = append(out, BlockSizeChoice{Scale: s, Result: r, Best: r.Best})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Best.Cost.IOTimeSec < out[j].Best.Cost.IOTimeSec
+	})
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package cost
+
+import (
+	"testing"
+
+	"riotshare/internal/codegen"
+	"riotshare/internal/deps"
+	"riotshare/internal/disk"
+	"riotshare/internal/ops"
+	"riotshare/internal/sched"
+)
+
+func timelineFor(t *testing.T, n1, n2, n3 int64, names ...string) (*codegen.Timeline, *deps.Analysis) {
+	t.Helper()
+	p := ops.AddMul(ops.AddMulConfig{
+		N1: n1, N2: n2, N3: n3,
+		ABBlock: ops.Dims{Rows: 4, Cols: 4},
+		DBlock:  ops.Dims{Rows: 4, Cols: 4},
+	})
+	an, err := deps.Analyze(p, deps.Options{BindParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.NewSearcher(an)
+	var q []*deps.CoAccess
+	var idxs []int
+	for _, n := range names {
+		c := an.FindShare(n)
+		if c == nil {
+			t.Fatalf("missing %s", n)
+		}
+		q = append(q, c)
+		for i, sh := range an.Shares {
+			if sh == c {
+				idxs = append(idxs, i)
+			}
+		}
+	}
+	schd, ok := s.FindSchedule(q)
+	if !ok {
+		t.Fatalf("infeasible %v", names)
+	}
+	tl, err := codegen.Lower(an, sched.Plan{Shares: idxs, Schedule: schd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl, an
+}
+
+// Baseline I/O for Example 1 follows the paper's §1 analysis exactly:
+// A and B read once, C written once and read n3 times, D read n1 times,
+// E written n2 times and read n2-1 times (per block).
+func TestBaselineVolumesMatchPaperAnalysis(t *testing.T) {
+	const n1, n2, n3 = 3, 4, 2
+	tl, _ := timelineFor(t, n1, n2, n3)
+	c := Evaluate(tl, disk.PaperModel())
+	blk := int64(4 * 4 * 8) // bytes per block (all arrays share the shape here)
+
+	wantReads := map[string]int64{
+		"A": n1 * n2 * blk,
+		"B": n1 * n2 * blk,
+		"C": n1 * n2 * n3 * blk,
+		"D": n2 * n3 * n1 * blk,       // D[k,j] read for every i
+		"E": n1 * n3 * (n2 - 1) * blk, // accumulator read at k>=1
+	}
+	wantWrites := map[string]int64{
+		"C": n1 * n2 * blk,
+		"E": n1 * n3 * n2 * blk,
+	}
+	for arr, want := range wantReads {
+		if got := c.PerArray[arr].ReadBytes; got != want {
+			t.Errorf("%s reads = %d want %d", arr, got, want)
+		}
+	}
+	for arr, want := range wantWrites {
+		if got := c.PerArray[arr].WriteBytes; got != want {
+			t.Errorf("%s writes = %d want %d", arr, got, want)
+		}
+	}
+}
+
+// Realizing the accumulator shares eliminates exactly the E re-reads and
+// intermediate writes.
+func TestAccumulatorSavings(t *testing.T) {
+	const n1, n2, n3 = 3, 4, 2
+	base, _ := timelineFor(t, n1, n2, n3)
+	opt, _ := timelineFor(t, n1, n2, n3, "s2WE→s2RE", "s2WE→s2WE")
+	cb := Evaluate(base, disk.PaperModel())
+	co := Evaluate(opt, disk.PaperModel())
+	blk := int64(4 * 4 * 8)
+	if diff := cb.PerArray["E"].ReadBytes - co.PerArray["E"].ReadBytes; diff != n1*n3*(n2-1)*blk {
+		t.Errorf("E read savings = %d", diff)
+	}
+	if diff := cb.PerArray["E"].WriteBytes - co.PerArray["E"].WriteBytes; diff != n1*n3*(n2-1)*blk {
+		t.Errorf("E write savings = %d", diff)
+	}
+	// Other arrays unchanged.
+	for _, arr := range []string{"A", "B", "C", "D"} {
+		if cb.PerArray[arr] != co.PerArray[arr] {
+			t.Errorf("%s I/O changed unexpectedly", arr)
+		}
+	}
+}
+
+// Memory: the baseline's peak is the largest per-instance working set; the
+// sharing plan additionally holds blocks across instances.
+func TestMemoryAccounting(t *testing.T) {
+	base, _ := timelineFor(t, 3, 4, 1)
+	cb := Evaluate(base, disk.PaperModel())
+	blk := int64(4 * 4 * 8)
+	// s2 touches C, D, E (E read is inactive at k=0 but E write is live):
+	// 3 distinct blocks.
+	if cb.PeakMemoryBytes != 3*blk {
+		t.Errorf("baseline peak = %d want %d", cb.PeakMemoryBytes, 3*blk)
+	}
+	opt, _ := timelineFor(t, 3, 4, 1, "s1WC→s2RC", "s2WE→s2RE", "s2WE→s2WE")
+	co := Evaluate(opt, disk.PaperModel())
+	if co.PeakMemoryBytes <= cb.PeakMemoryBytes {
+		t.Errorf("sharing plan should need more memory: %d vs %d", co.PeakMemoryBytes, cb.PeakMemoryBytes)
+	}
+	// Fused s1 instant: A, B, C plus held E = 4 blocks.
+	if co.PeakMemoryBytes != 4*blk {
+		t.Errorf("sharing peak = %d want %d", co.PeakMemoryBytes, 4*blk)
+	}
+}
+
+// I/O time follows the model: reads at 96 MB/s, writes at 60 MB/s.
+func TestIOTimeModel(t *testing.T) {
+	tl, _ := timelineFor(t, 2, 2, 1)
+	m := disk.PaperModel()
+	c := Evaluate(tl, m)
+	want := float64(c.ReadBytes)/m.ReadBytesPerSec + float64(c.WriteBytes)/m.WriteBytesPerSec
+	if c.IOTimeSec != want {
+		t.Errorf("IOTimeSec = %v want %v", c.IOTimeSec, want)
+	}
+	refined := Evaluate(tl, disk.RefinedModel(0.01))
+	if refined.IOTimeSec <= c.IOTimeSec {
+		t.Error("per-request overhead must increase the estimate")
+	}
+}
+
+// Request counts equal the number of block transfers.
+func TestRequestCounts(t *testing.T) {
+	const n1, n2, n3 = 2, 3, 1
+	tl, _ := timelineFor(t, n1, n2, n3)
+	c := Evaluate(tl, disk.PaperModel())
+	blk := int64(4 * 4 * 8)
+	if c.ReadBytes != c.ReadReqs*blk || c.WriteBytes != c.WriteReqs*blk {
+		t.Errorf("volumes and requests inconsistent: %+v", c)
+	}
+}

@@ -1,0 +1,167 @@
+package deps
+
+import (
+	"fmt"
+	"sort"
+
+	"riotshare/internal/prog"
+)
+
+// Analysis holds the extracted dependences and sharing opportunities of a
+// program under its original schedule, fully preprocessed: both are
+// no-write-in-between, and sharing opportunities are one-one (§5.1).
+type Analysis struct {
+	Prog *prog.Program
+	Orig *prog.Schedule
+	// Deps are the data dependences (types R→W, W→R, W→W with non-empty
+	// extent, Definition 2).
+	Deps []*CoAccess
+	// Shares are the I/O sharing opportunities (types W→R, W→W, R→R with
+	// non-empty extent, Definition 3), multiplicity-reduced to one-one.
+	Shares []*CoAccess
+	// Dropped lists sharing opportunities that could not be reduced to
+	// one-one form and were discarded (none occur in the paper's programs).
+	Dropped []*CoAccess
+}
+
+// Options controls analysis behaviour.
+type Options struct {
+	// BindParams, when true, substitutes the program's parameter binding
+	// into all extents before emptiness checks, so opportunities that are
+	// empty for the concrete sizes (e.g. s2RC→s2RC when n3=1, §6.1) are
+	// dropped, matching the paper's per-configuration analysis. When false
+	// the analysis is fully parametric.
+	BindParams bool
+	// SkipMultiplicityReduction disables Remark A.1's reduction, used by the
+	// ablation benchmarks.
+	SkipMultiplicityReduction bool
+}
+
+// Analyze extracts dependences and sharing opportunities from the program
+// (§4.3) and preprocesses them (§5.1).
+func Analyze(p *prog.Program, opt Options) (*Analysis, error) {
+	if len(p.Stmts) == 0 {
+		return nil, fmt.Errorf("deps: program has no statements")
+	}
+	sch := p.OriginalSchedule()
+	an := &Analysis{Prog: p, Orig: sch}
+
+	for _, src := range p.Stmts {
+		for srcAcc := range src.Accesses {
+			for _, tgt := range p.Stmts {
+				for tgtAcc := range tgt.Accesses {
+					a, b := &src.Accesses[srcAcc], &tgt.Accesses[tgtAcc]
+					if a.Array != b.Array {
+						continue
+					}
+					space, extent := buildExtent(p, sch, src, srcAcc, tgt, tgtAcc)
+					c := &CoAccess{
+						Prog: p, Src: src, Tgt: tgt,
+						SrcAcc: srcAcc, TgtAcc: tgtAcc,
+						Space: space, Extent: extent,
+					}
+					if c.empty(opt) {
+						continue
+					}
+					applyNoWriteInBetween(p, sch, c)
+					if c.empty(opt) {
+						continue
+					}
+					kind := c.Kind()
+					if kind != RR { // R→W, W→R, W→W are dependences
+						an.Deps = append(an.Deps, c)
+					}
+					if kind != RW { // W→R, W→W, R→R are sharing opportunities
+						s := &CoAccess{
+							Prog: p, Src: src, Tgt: tgt,
+							SrcAcc: srcAcc, TgtAcc: tgtAcc,
+							Space: space, Extent: c.Extent.Clone(),
+						}
+						if opt.SkipMultiplicityReduction || ReduceMultiplicity(s) {
+							if !s.empty(opt) {
+								an.Shares = append(an.Shares, s)
+							}
+						} else {
+							an.Dropped = append(an.Dropped, s)
+						}
+					}
+				}
+			}
+		}
+	}
+	sortCo(an.Deps)
+	sortCo(an.Shares)
+	return an, nil
+}
+
+// empty tests extent emptiness, optionally under the parameter binding.
+func (c *CoAccess) empty(opt Options) bool {
+	ext := c.Extent
+	if opt.BindParams {
+		vals := c.Prog.ParamValues()
+		np := c.Space.NP
+		base := c.Space.Src.Ds() + c.Space.Tgt.Ds()
+		for i := np - 1; i >= 0; i-- {
+			ext = ext.BindVar(base+i, vals[i])
+		}
+		return ext.IsEmptyInt(8)
+	}
+	return ext.IsEmptyInt(8)
+}
+
+func sortCo(cs []*CoAccess) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Key() < cs[j].Key() })
+}
+
+// FindShare locates a sharing opportunity by its display string (e.g.
+// "s1WC→s2RC"); useful in tests and experiment drivers.
+func (an *Analysis) FindShare(display string) *CoAccess {
+	for _, s := range an.Shares {
+		if s.String() == display {
+			return s
+		}
+	}
+	return nil
+}
+
+// ShareStrings lists the sharing opportunities in display form.
+func (an *Analysis) ShareStrings() []string {
+	out := make([]string, len(an.Shares))
+	for i, s := range an.Shares {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// DepStrings lists the dependences in display form.
+func (an *Analysis) DepStrings() []string {
+	out := make([]string, len(an.Deps))
+	for i, d := range an.Deps {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// ConcretePairs enumerates the instance pairs of a co-access's extent under
+// the program's parameter binding: each element is (srcInstance,
+// tgtInstance). Block-level domains are small so enumeration is exact
+// (DESIGN.md substitution S3).
+func (c *CoAccess) ConcretePairs(limit int) ([][2][]int64, error) {
+	vals := c.Prog.ParamValues()
+	np := c.Space.NP
+	base := c.Space.Src.Ds() + c.Space.Tgt.Ds()
+	ext := c.Extent
+	for i := np - 1; i >= 0; i-- {
+		ext = ext.BindVar(base+i, vals[i])
+	}
+	pts, err := ext.Enumerate(limit)
+	if err != nil {
+		return nil, err
+	}
+	sd := c.Src.Ds()
+	out := make([][2][]int64, len(pts))
+	for i, pt := range pts {
+		out[i] = [2][]int64{pt[:sd], pt[sd : sd+c.Tgt.Ds()]}
+	}
+	return out, nil
+}

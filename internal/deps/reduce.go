@@ -1,0 +1,268 @@
+package deps
+
+import (
+	"riotshare/internal/linalg"
+	"riotshare/internal/polyhedra"
+)
+
+// hullEqualities returns equality constraints valid on every piece of the
+// set (the affine hull of the union, conservatively: equalities implied by
+// the first piece and verified on the rest).
+func hullEqualities(s *polyhedra.Set) []polyhedra.Constraint {
+	if len(s.Ps) == 0 {
+		return nil
+	}
+	cand := s.Ps[0].ImpliedEqualities()
+	var out []polyhedra.Constraint
+	for _, e := range cand {
+		valid := true
+		for _, p := range s.Ps[1:] {
+			// e == 0 on p iff both strict sides are empty.
+			hi := p.Clone().AddIneq(e.Coef, e.K-1)
+			lo := p.Clone().AddIneq(linalg.ScaleVec(-1, e.Coef), -e.K-1)
+			if !hi.IsEmptyRational() || !lo.IsEmptyRational() {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// hullRank returns the affine-hull dimension of the set projected onto the
+// given columns (the "rank, or degree of freedom" of Remark A.1).
+func hullRank(s *polyhedra.Set, cols []int) int {
+	if len(s.Ps) == 0 {
+		return 0
+	}
+	proj, _ := s.ProjectOnto(cols)
+	if len(proj.Ps) == 0 {
+		return 0
+	}
+	eqs := hullEqualities(proj)
+	rows := make([][]int64, 0, len(eqs))
+	for _, e := range eqs {
+		rows = append(rows, e.Coef)
+	}
+	return len(cols) - linalg.Rank(rows)
+}
+
+// freeVars returns the columns among cols that are not pinned by the hull
+// equalities of s given the complementary columns: a column is free if
+// adding no equalities, its value still varies. We detect it by checking
+// whether the hull of the projection onto given ∪ {col} exceeds the hull of
+// the projection onto given.
+func freeTargetVars(s *polyhedra.Set, srcCols, tgtCols []int, paramCols []int) []int {
+	var free []int
+	base := append(append([]int{}, srcCols...), paramCols...)
+	baseRank := hullRank(s, base)
+	for _, t := range tgtCols {
+		withT := append(append([]int{}, base...), t)
+		if hullRank(s, withT) > baseRank {
+			free = append(free, t)
+		}
+	}
+	return free
+}
+
+// ReduceMultiplicity makes a sharing opportunity's extent one-one
+// (Remark A.1) by adding rank-preserving equality constraints, preferring
+// pairings that keep related instances close in execution time: positional
+// variable pairings (offset 0, then ±1), then bindings to the variable's
+// own bound within the extent (e.g. j' = 0, the first read after a write).
+// The reduced extent is always a subset of the input. It reports whether a
+// one-one form was reached.
+func ReduceMultiplicity(c *CoAccess) bool {
+	ps := c.Space
+	srcCols, tgtCols, paramCols := ps.SrcCols(), ps.TgtCols(), ps.ParamCols()
+	if len(c.Extent.Ps) == 0 {
+		return true
+	}
+	minRank := hullRank(c.Extent, srcCols)
+	if t := hullRank(c.Extent, tgtCols); t < minRank {
+		minRank = t
+	}
+	// The paper distinguishes one-many/many-one (keep the instance closest
+	// in execution time on the "many" side) from many-many (rank-preserving
+	// pairing, Figure 7(b)). Closest-in-time corresponds to binding the free
+	// variable to its bound; pairing to equating it with the other side's
+	// matching variable.
+	srcFiber := len(freeTargetVars(c.Extent, tgtCols, srcCols, paramCols))
+	tgtFiber := len(freeTargetVars(c.Extent, srcCols, tgtCols, paramCols))
+	preferPairing := srcFiber > 0 && tgtFiber > 0
+	// Reduce target freedom first (the paper reduces many-many to many-one
+	// and then to one-one), then source freedom.
+	if !reduceSide(c, srcCols, tgtCols, paramCols, minRank, true, preferPairing) {
+		return false
+	}
+	if !reduceSide(c, tgtCols, srcCols, paramCols, minRank, false, preferPairing) {
+		return false
+	}
+	// One-one check: no remaining freedom on either side given the other.
+	return len(freeTargetVars(c.Extent, srcCols, tgtCols, paramCols)) == 0 &&
+		len(freeTargetVars(c.Extent, tgtCols, srcCols, paramCols)) == 0
+}
+
+// reduceSide pins the freedom of the "many" side (reduceCols) given the
+// other side. When bindTgt is true we are pinning target variables (prefer
+// binding to lower bounds: the earliest reuse); otherwise source variables
+// (prefer upper bounds: the latest use before the target).
+func reduceSide(c *CoAccess, givenCols, reduceCols, paramCols []int, minRank int, bindTgt, preferPairing bool) bool {
+	for guard := 0; guard < len(reduceCols)+1; guard++ {
+		free := freeTargetVars(c.Extent, givenCols, reduceCols, paramCols)
+		if len(free) == 0 {
+			return true
+		}
+		progressed := false
+		for _, col := range free {
+			if tryPinVar(c, col, givenCols, minRank, bindTgt, preferPairing) {
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return false
+		}
+	}
+	return len(freeTargetVars(c.Extent, givenCols, reduceCols, paramCols)) == 0
+}
+
+// tryPinVar attempts candidate equalities pinning column col, accepting the
+// first that keeps the extent non-empty and the relation rank >= minRank.
+// For many-many opportunities (preferPairing) rank-preserving variable
+// pairings come first (Figure 7(b)); for one-many/many-one the
+// closest-in-time bound bindings come first (Remark A.1).
+func tryPinVar(c *CoAccess, col int, givenCols []int, minRank int, bindTgt, preferPairing bool) bool {
+	ps := c.Space
+	dim := ps.Dim()
+	allCols := make([]int, 0, ps.Src.Ds()+ps.Tgt.Ds())
+	allCols = append(allCols, ps.SrcCols()...)
+	allCols = append(allCols, ps.TgtCols()...)
+
+	// Pairing candidates: positional/name pairing with the matching variable
+	// on the other side, offsets 0, +1, -1 (offset pairings realize
+	// "consecutive" relations for self opportunities; offset 0 realizes
+	// fusion-style pairings, Fig. 7(b)); then any other given-side variable.
+	var pairing []polyhedra.Constraint
+	if mate, ok := mateColumn(ps, col); ok {
+		for _, off := range []int64{0, 1, -1} {
+			coef := make([]int64, dim)
+			coef[col] = 1
+			coef[mate] = -1
+			k := -off
+			if !bindTgt {
+				// Pinning a source var u to mate v': u = v' + off means
+				// u - v' - off == 0; sign conventions are symmetric, so the
+				// same form works.
+				k = off
+			}
+			pairing = append(pairing, polyhedra.Constraint{Coef: coef, K: k, Eq: true})
+		}
+	}
+	for _, g := range givenCols {
+		if m, ok := mateColumn(ps, col); ok && m == g {
+			continue // already tried
+		}
+		coef := make([]int64, dim)
+		coef[col] = 1
+		coef[g] = -1
+		pairing = append(pairing, polyhedra.Constraint{Coef: coef, K: 0, Eq: true})
+	}
+	// Bound candidates: bind to the variable's own bound within the extent —
+	// for targets the lower bound (earliest reuse after the source), for
+	// sources the upper bound (latest use before the target). Candidate
+	// constraints come from the extent's own inequalities with a ±1
+	// coefficient on col and no other reduce-side variables.
+	var bounds []polyhedra.Constraint
+	wantSign := int64(1)
+	if !bindTgt {
+		wantSign = -1
+	}
+	for _, p := range c.Extent.Ps {
+		for _, con := range p.Cons {
+			if con.Eq || con.Coef[col] != wantSign {
+				continue
+			}
+			clean := true
+			for _, oc := range allCols {
+				if oc != col && con.Coef[oc] != 0 && !contains(givenCols, oc) {
+					clean = false
+					break
+				}
+			}
+			if !clean {
+				continue
+			}
+			bounds = append(bounds, polyhedra.Constraint{Coef: linalg.CloneVec(con.Coef), K: con.K, Eq: true})
+		}
+	}
+	var candidates []polyhedra.Constraint
+	if preferPairing {
+		candidates = append(append(candidates, pairing...), bounds...)
+	} else {
+		candidates = append(append(candidates, bounds...), pairing...)
+	}
+
+	for _, cand := range candidates {
+		trial := c.Extent.Clone()
+		for _, p := range trial.Ps {
+			p.Add(cand.Clone())
+		}
+		pruned := polyhedra.NewSet(trial.Dim, trial.Names...)
+		for _, p := range trial.Ps {
+			pruned.AddPiece(p)
+		}
+		if pruned.IsEmpty() {
+			continue
+		}
+		if hullRank(pruned, allCols) < minRank {
+			continue
+		}
+		c.Extent = pruned
+		return true
+	}
+	return false
+}
+
+// mateColumn returns the column of the same-name (or same-position)
+// variable on the opposite side.
+func mateColumn(ps PairSpace, col int) (int, bool) {
+	sd, td := ps.Src.Ds(), ps.Tgt.Ds()
+	if col < sd { // source var: find mate among target vars
+		name := ps.Src.Vars[col]
+		for i, v := range ps.Tgt.Vars {
+			if v == name {
+				return sd + i, true
+			}
+		}
+		if col < td {
+			return sd + col, true
+		}
+		return 0, false
+	}
+	if col < sd+td { // target var
+		idx := col - sd
+		name := ps.Tgt.Vars[idx]
+		for i, v := range ps.Src.Vars {
+			if v == name {
+				return i, true
+			}
+		}
+		if idx < sd {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

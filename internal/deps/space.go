@@ -1,0 +1,144 @@
+// Package deps extracts data dependences and I/O sharing opportunities from
+// a polyhedral program (§4.3), applies the no-write-in-between rule and
+// multiplicity reduction (§5.1, Remark A.1), and exposes them as co-accesses
+// with extent polyhedra for the optimizer.
+package deps
+
+import (
+	"riotshare/internal/polyhedra"
+	"riotshare/internal/prog"
+)
+
+// PairSpace is the product space of two statements' iteration domains plus
+// the shared parameters: columns [src vars | tgt vars | params], constants
+// in each constraint's K. Extent polyhedra of co-accesses live here
+// (Definition 1).
+type PairSpace struct {
+	Src, Tgt *prog.Statement
+	NP       int
+}
+
+// NewPairSpace builds the product space for a (src, tgt) statement pair.
+func NewPairSpace(p *prog.Program, src, tgt *prog.Statement) PairSpace {
+	return PairSpace{Src: src, Tgt: tgt, NP: p.NumParams()}
+}
+
+// Dim returns the total column count.
+func (ps PairSpace) Dim() int { return ps.Src.Ds() + ps.Tgt.Ds() + ps.NP }
+
+// SrcCols returns the column indices of the source statement's variables.
+func (ps PairSpace) SrcCols() []int {
+	out := make([]int, ps.Src.Ds())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TgtCols returns the column indices of the target statement's variables.
+func (ps PairSpace) TgtCols() []int {
+	out := make([]int, ps.Tgt.Ds())
+	for i := range out {
+		out[i] = ps.Src.Ds() + i
+	}
+	return out
+}
+
+// ParamCols returns the parameter column indices.
+func (ps PairSpace) ParamCols() []int {
+	out := make([]int, ps.NP)
+	for i := range out {
+		out[i] = ps.Src.Ds() + ps.Tgt.Ds() + i
+	}
+	return out
+}
+
+// Names returns debug names for the pair space, priming target variables.
+func (ps PairSpace) Names(params []string) []string {
+	var names []string
+	names = append(names, ps.Src.Vars...)
+	for _, v := range ps.Tgt.Vars {
+		names = append(names, v+"'")
+	}
+	names = append(names, params...)
+	return names
+}
+
+// liftRow maps an affine row over one statement's extended space (ds+np+1
+// coefficients) into a space of totalDim columns where that statement's
+// variables start at off and parameters start at paramOff. It returns the
+// lifted coefficients and constant.
+func liftRow(row []int64, ds, np, off, paramOff, totalDim int) ([]int64, int64) {
+	coef := make([]int64, totalDim)
+	for i := 0; i < ds; i++ {
+		coef[off+i] += row[i]
+	}
+	for j := 0; j < np; j++ {
+		coef[paramOff+j] += row[ds+j]
+	}
+	return coef, row[ds+np]
+}
+
+// liftPoly maps a polyhedron over one statement's (ds+np) space into a
+// larger space with the statement's variables at off and parameters at
+// paramOff.
+func liftPoly(p *polyhedra.Poly, ds, np, off, paramOff, totalDim int) *polyhedra.Poly {
+	out := polyhedra.NewPoly(totalDim)
+	for _, c := range p.Cons {
+		coef := make([]int64, totalDim)
+		for i := 0; i < ds; i++ {
+			coef[off+i] += c.Coef[i]
+		}
+		for j := 0; j < np; j++ {
+			coef[paramOff+j] += c.Coef[ds+j]
+		}
+		if c.Eq {
+			out.AddEq(coef, c.K)
+		} else {
+			out.AddIneq(coef, c.K)
+		}
+	}
+	return out
+}
+
+// diffRow returns tgtRow(x') - srcRow(x) as a constraint row over a space
+// with src vars at srcOff, tgt vars at tgtOff and params at paramOff.
+func diffRow(srcRow []int64, srcDs int, tgtRow []int64, tgtDs, np, srcOff, tgtOff, paramOff, totalDim int) ([]int64, int64) {
+	coef := make([]int64, totalDim)
+	for i := 0; i < srcDs; i++ {
+		coef[srcOff+i] -= srcRow[i]
+	}
+	for i := 0; i < tgtDs; i++ {
+		coef[tgtOff+i] += tgtRow[i]
+	}
+	var k int64
+	for j := 0; j < np; j++ {
+		coef[paramOff+j] += tgtRow[tgtDs+j] - srcRow[srcDs+j]
+	}
+	k = tgtRow[tgtDs+np] - srcRow[srcDs+np]
+	return coef, k
+}
+
+// orderPieces returns the basic polyhedra whose union expresses
+// Θ_src(x) ≺ Θ_tgt(x') under the given schedule, in a space with src vars at
+// srcOff, tgt vars at tgtOff, params at paramOff. Each piece q requires
+// equality of the first q time rows and strict inequality at row q.
+func orderPieces(sch *prog.Schedule, src *prog.Statement, srcOff int, tgt *prog.Statement, tgtOff int, np, paramOff, totalDim int) []*polyhedra.Poly {
+	srcRows := sch.Rows[src.ID]
+	tgtRows := sch.Rows[tgt.ID]
+	var pieces []*polyhedra.Poly
+	for q := 0; q < sch.NRows; q++ {
+		p := polyhedra.NewPoly(totalDim)
+		for r := 0; r < q; r++ {
+			coef, k := diffRow(srcRows[r], src.Ds(), tgtRows[r], tgt.Ds(), np, srcOff, tgtOff, paramOff, totalDim)
+			p.AddEq(coef, k)
+		}
+		coef, k := diffRow(srcRows[q], src.Ds(), tgtRows[q], tgt.Ds(), np, srcOff, tgtOff, paramOff, totalDim)
+		// Strict: tgt - src >= 1.
+		p.AddIneq(coef, k-1)
+		if p.Simplify() {
+			pieces = append(pieces, p)
+		}
+	}
+	return pieces
+}

@@ -1,0 +1,83 @@
+package disk
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperModelRates(t *testing.T) {
+	m := PaperModel()
+	// 96 MB read in one second, 60 MB written in one second.
+	if got := m.Time(96*MB, 0, 1, 0); got != 1 {
+		t.Fatalf("read rate wrong: %v", got)
+	}
+	if got := m.Time(0, 60*MB, 0, 1); got != 1 {
+		t.Fatalf("write rate wrong: %v", got)
+	}
+}
+
+func TestRefinedModelOverhead(t *testing.T) {
+	m := RefinedModel(0.01)
+	base := PaperModel().Time(MB, MB, 2, 3)
+	if got := m.Time(MB, MB, 2, 3); got != base+0.05 {
+		t.Fatalf("overhead wrong: %v vs %v", got, base+0.05)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Read(100)
+	c.Read(50)
+	c.Write(30)
+	rb, wb, rr, wr := c.Snapshot()
+	if rb != 150 || wb != 30 || rr != 2 || wr != 1 {
+		t.Fatalf("snapshot wrong: %d %d %d %d", rb, wb, rr, wr)
+	}
+	c.Reset()
+	rb, wb, rr, wr = c.Snapshot()
+	if rb != 0 || wb != 0 || rr != 0 || wr != 0 {
+		t.Fatal("reset wrong")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Read(1)
+				c.Write(2)
+			}
+		}()
+	}
+	wg.Wait()
+	rb, wb, rr, wr := c.Snapshot()
+	if rb != 8000 || wb != 16000 || rr != 8000 || wr != 8000 {
+		t.Fatalf("concurrent counts wrong: %d %d %d %d", rb, wb, rr, wr)
+	}
+}
+
+// Property: time is monotone in volumes.
+func TestTimeMonotone(t *testing.T) {
+	m := PaperModel()
+	f := func(a, b uint32) bool {
+		t1 := m.Time(int64(a), int64(b), 0, 0)
+		t2 := m.Time(int64(a)+MB, int64(b)+MB, 0, 0)
+		return t2 > t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterTime(t *testing.T) {
+	var c Counter
+	c.Read(96 * MB)
+	if got := c.Time(PaperModel()); got != 1 {
+		t.Fatalf("Counter.Time wrong: %v", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package exec physically executes lowered plans (timelines): it walks the
+// scheduled statement instances in order, performs block I/O through the
+// storage manager under the plan's per-access actions, keeps shared blocks
+// buffered exactly for their hold intervals (the paper's "RIOTShare injects
+// additional code to ensure that all array block accesses are fulfilled
+// either by blocks already buffered in memory or by I/O", §5.5), runs the
+// in-core kernels on real data, and accounts logical I/O volumes and peak
+// memory. Execution validates the cost model: measured volumes must equal
+// predicted volumes byte for byte.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"riotshare/internal/blas"
+	"riotshare/internal/codegen"
+	"riotshare/internal/disk"
+	"riotshare/internal/prog"
+	"riotshare/internal/storage"
+)
+
+// Result reports an execution.
+type Result struct {
+	// Logical I/O volumes (paper-scale accounting).
+	ReadBytes, WriteBytes int64
+	ReadReqs, WriteReqs   int64
+	// SimulatedIOSec converts the volumes with the disk model.
+	SimulatedIOSec float64
+	// CPUTime is the wall time spent inside compute kernels.
+	CPUTime time.Duration
+	// PeakMemoryBytes is the maximum buffered logical working set.
+	PeakMemoryBytes int64
+}
+
+// Engine executes timelines against a storage manager.
+type Engine struct {
+	Store *storage.Manager
+	Model disk.Model
+	// MemCapBytes, when nonzero, makes execution fail if the buffered
+	// working set ever exceeds the cap (the optimizer must have chosen a
+	// plan that fits, §4.2).
+	MemCapBytes int64
+}
+
+// buffered is one memory-resident block.
+type buffered struct {
+	blk   *blas.Matrix
+	bytes int64
+}
+
+// Run executes the timeline.
+func (e *Engine) Run(tl *codegen.Timeline) (Result, error) {
+	var res Result
+	p := tl.Prog
+
+	// holdsUntil[blockKey] = latest event index through which the block must
+	// stay buffered (merged over the plan's hold intervals), indexed as the
+	// execution reaches each hold's start.
+	type holdIv struct{ start, end int }
+	holdsByStart := make(map[int][]codegen.Hold)
+	for _, h := range tl.Holds {
+		holdsByStart[h.StartEvent] = append(holdsByStart[h.StartEvent], h)
+	}
+	holdEnd := make(map[string]int) // active holds: block key -> max end event
+
+	buf := make(map[string]buffered)
+	bufBytes := int64(0)
+
+	account := func(peakExtra int64) error {
+		if bufBytes+peakExtra > res.PeakMemoryBytes {
+			res.PeakMemoryBytes = bufBytes + peakExtra
+		}
+		if e.MemCapBytes > 0 && bufBytes+peakExtra > e.MemCapBytes {
+			return fmt.Errorf("exec: memory cap exceeded: %d > %d bytes", bufBytes+peakExtra, e.MemCapBytes)
+		}
+		return nil
+	}
+
+	for i, ev := range tl.Events {
+		st := ev.St
+		actions := tl.Actions[i]
+		// Activate holds starting here (they may refer to blocks acquired at
+		// this very event).
+		for _, h := range holdsByStart[i] {
+			key := codegen.BlockKey(h.Array, h.R, h.C)
+			if h.EndEvent > holdEnd[key] {
+				holdEnd[key] = h.EndEvent
+			}
+		}
+
+		// Acquire all input blocks plus the write target.
+		local := make(map[string]*blas.Matrix) // blocks live for this event
+		localBytes := int64(0)
+		var kernelIn []*blas.Matrix // active read operands in access order
+		var outBlk *blas.Matrix
+		var writeAcc *prog.Access
+		var writeAction codegen.AccessAction
+		var accRead *blas.Matrix // accumulator read operand, nil when inactive
+
+		for ai := range st.Accesses {
+			ac := &st.Accesses[ai]
+			action := actions[ai]
+			if action == codegen.Inactive {
+				if ac.Type == prog.Read && isAccumulatorRead(st, ai) {
+					accRead = nil
+				}
+				continue
+			}
+			arr := p.Arrays[ac.Array]
+			r, c := ac.BlockAt(ev.X, tl.Params)
+			key := codegen.BlockKey(ac.Array, r, c)
+
+			if ac.Type == prog.Read {
+				blk, held := buf[key]
+				var m *blas.Matrix
+				switch {
+				case action == codegen.FromMemory:
+					if !held {
+						if lm, ok := local[key]; ok {
+							m = lm
+						} else {
+							return res, fmt.Errorf("exec: %s%v expects %s in memory but it is not buffered",
+								st.Name, ev.X, key)
+						}
+					} else {
+						m = blk.blk
+					}
+				case action == codegen.DoIO:
+					var err error
+					m, err = e.Store.ReadBlock(ac.Array, r, c)
+					if err != nil {
+						return res, err
+					}
+					res.ReadBytes += arr.LogicalBlockBytes
+					res.ReadReqs++
+				}
+				if _, dup := local[key]; !dup {
+					local[key] = m
+					if !held {
+						localBytes += arr.LogicalBlockBytes
+					}
+				}
+				if isAccumulatorRead(st, ai) {
+					accRead = m
+				} else {
+					kernelIn = append(kernelIn, m)
+				}
+				continue
+			}
+			// Write access: the output block materializes in memory.
+			writeAcc = ac
+			writeAction = action
+			if b, held := buf[key]; held {
+				outBlk = b.blk
+			} else {
+				outBlk = blas.NewMatrix(arr.BlockRows, arr.BlockCols)
+				if _, dup := local[key]; !dup {
+					localBytes += arr.LogicalBlockBytes
+				}
+			}
+			local[key] = outBlk
+		}
+		if err := account(localBytes); err != nil {
+			return res, err
+		}
+
+		// Run the kernel on real data.
+		t0 := time.Now()
+		if err := RunKernel(st, kernelIn, accRead, outBlk); err != nil {
+			return res, fmt.Errorf("exec: %s%v: %w", st.Name, ev.X, err)
+		}
+		res.CPUTime += time.Since(t0)
+
+		// Write-back.
+		if writeAcc != nil && writeAction == codegen.DoIO {
+			arr := p.Arrays[writeAcc.Array]
+			r, c := writeAcc.BlockAt(ev.X, tl.Params)
+			if err := e.Store.WriteBlock(writeAcc.Array, r, c, outBlk); err != nil {
+				return res, err
+			}
+			res.WriteBytes += arr.LogicalBlockBytes
+			res.WriteReqs++
+		}
+
+		// Retain blocks with active holds; release everything else.
+		for key, m := range local {
+			end, heldNow := holdEnd[key]
+			_, already := buf[key]
+			switch {
+			case heldNow && end > i && !already:
+				buf[key] = buffered{blk: m, bytes: blockBytesOf(p, key, st, ev, m)}
+				bufBytes += buf[key].bytes
+			case heldNow && end > i && already:
+				buf[key] = buffered{blk: m, bytes: buf[key].bytes}
+			}
+		}
+		// Expire holds ending at this event.
+		for key, end := range holdEnd {
+			if end <= i {
+				if b, ok := buf[key]; ok {
+					bufBytes -= b.bytes
+					delete(buf, key)
+				}
+				delete(holdEnd, key)
+			}
+		}
+	}
+	res.SimulatedIOSec = e.Model.Time(res.ReadBytes, res.WriteBytes, res.ReadReqs, res.WriteReqs)
+	return res, nil
+}
+
+// blockBytesOf resolves the logical byte size of a block key by searching
+// the event's arrays (the key embeds the array name before '[').
+func blockBytesOf(p *prog.Program, key string, st *prog.Statement, ev codegen.Event, m *blas.Matrix) int64 {
+	for name, arr := range p.Arrays {
+		if len(key) > len(name) && key[:len(name)] == name && key[len(name)] == '[' {
+			return arr.LogicalBlockBytes
+		}
+	}
+	return int64(m.Rows) * int64(m.Cols) * 8
+}
+
+// isAccumulatorRead reports whether access ai is a read of the same array
+// the statement writes (the "+=" self-operand).
+func isAccumulatorRead(st *prog.Statement, ai int) bool {
+	ac := &st.Accesses[ai]
+	if ac.Type != prog.Read {
+		return false
+	}
+	w := st.WriteAccess()
+	return w != nil && w.Array == ac.Array
+}

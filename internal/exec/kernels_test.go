@@ -1,0 +1,120 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"riotshare/internal/blas"
+	"riotshare/internal/prog"
+)
+
+func stmtWithKernel(t *testing.T, kernel string) *prog.Statement {
+	t.Helper()
+	p := prog.New("k", "n")
+	p.AddArray(&prog.Array{Name: "A", BlockRows: 2, BlockCols: 2, GridRows: 1, GridCols: 1})
+	s := p.NewStatement("s", "i")
+	s.Access(prog.Write, "A", prog.C(0), prog.C(0))
+	s.SetKernel(kernel)
+	return s
+}
+
+func TestRunKernelUnknown(t *testing.T) {
+	s := stmtWithKernel(t, "nonsense")
+	if err := RunKernel(s, nil, nil, blas.NewMatrix(2, 2)); err == nil {
+		t.Fatal("unknown kernel should error")
+	}
+}
+
+func TestRunKernelOperandCount(t *testing.T) {
+	cases := []struct {
+		kernel string
+		in     []*blas.Matrix
+	}{
+		{"add", []*blas.Matrix{blas.NewMatrix(2, 2)}},
+		{"sub", nil},
+		{"gemm", []*blas.Matrix{blas.NewMatrix(2, 2)}},
+		{"gemm:self", []*blas.Matrix{blas.NewMatrix(2, 2), blas.NewMatrix(2, 2)}},
+		{"inv", nil},
+		{"rss", nil},
+		{"scan-agg", nil},
+		{"join-agg", []*blas.Matrix{blas.NewMatrix(2, 2)}},
+	}
+	for _, c := range cases {
+		s := stmtWithKernel(t, c.kernel)
+		if err := RunKernel(s, c.in, nil, blas.NewMatrix(2, 2)); err == nil {
+			t.Errorf("kernel %q with %d operands should error", c.kernel, len(c.in))
+		}
+	}
+}
+
+func TestRunKernelBadGemmFlag(t *testing.T) {
+	s := stmtWithKernel(t, "gemm:tz")
+	in := []*blas.Matrix{blas.NewMatrix(2, 2), blas.NewMatrix(2, 2)}
+	err := RunKernel(s, in, nil, blas.NewMatrix(2, 2))
+	if err == nil || !strings.Contains(err.Error(), "flag") {
+		t.Fatalf("bad flag should error, got %v", err)
+	}
+}
+
+func TestRunKernelNilDst(t *testing.T) {
+	s := stmtWithKernel(t, "add")
+	if err := RunKernel(s, nil, nil, nil); err == nil {
+		t.Fatal("nil dst should error")
+	}
+}
+
+func TestRunKernelEmptyKernelNoop(t *testing.T) {
+	s := stmtWithKernel(t, "")
+	s.Kernel = ""
+	if err := RunKernel(s, nil, nil, nil); err != nil {
+		t.Fatalf("analysis-only statement should be a no-op: %v", err)
+	}
+}
+
+// Accumulation semantics: accRead copied into dst when distinct; continued
+// in place when aliased; zeroed when nil.
+func TestRunKernelAccumulationSemantics(t *testing.T) {
+	s := stmtWithKernel(t, "scan-agg")
+	in := []*blas.Matrix{{Rows: 1, Cols: 2, Data: []float64{3, 4}}}
+
+	// accRead nil: fresh accumulation.
+	dst := &blas.Matrix{Rows: 1, Cols: 1, Data: []float64{99}}
+	if err := RunKernel(s, in, nil, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Data[0] != 7 {
+		t.Fatalf("fresh accumulation got %v want 7", dst.Data[0])
+	}
+
+	// accRead distinct: copy then accumulate.
+	acc := &blas.Matrix{Rows: 1, Cols: 1, Data: []float64{10}}
+	dst2 := blas.NewMatrix(1, 1)
+	if err := RunKernel(s, in, acc, dst2); err != nil {
+		t.Fatal(err)
+	}
+	if dst2.Data[0] != 17 {
+		t.Fatalf("copied accumulation got %v want 17", dst2.Data[0])
+	}
+
+	// accRead aliased to dst: continue in place.
+	dst3 := &blas.Matrix{Rows: 1, Cols: 1, Data: []float64{10}}
+	if err := RunKernel(s, in, dst3, dst3); err != nil {
+		t.Fatal(err)
+	}
+	if dst3.Data[0] != 17 {
+		t.Fatalf("in-place accumulation got %v want 17", dst3.Data[0])
+	}
+}
+
+func TestJoinAggCountsMatches(t *testing.T) {
+	s := stmtWithKernel(t, "join-agg")
+	outer := &blas.Matrix{Rows: 3, Cols: 1, Data: []float64{1, 2, 3}}
+	inner := &blas.Matrix{Rows: 2, Cols: 1, Data: []float64{2, 2}}
+	dst := blas.NewMatrix(1, 1)
+	if err := RunKernel(s, []*blas.Matrix{outer, inner}, nil, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Data[0] != 2 {
+		t.Fatalf("join matches got %v want 2", dst.Data[0])
+	}
+}

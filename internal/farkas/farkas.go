@@ -1,0 +1,178 @@
+// Package farkas implements the affine form of the Farkas lemma (Lemma 1,
+// §5.2): given a non-empty polyhedron P and an affine form ψ(z; u) whose
+// coefficients are themselves affine in a vector of unknowns u (schedule
+// coefficients), it derives the exact linear constraints on u equivalent to
+// ∀z ∈ P: ψ(z; u) >= 0. This is the mechanism that linearizes dependence and
+// sharing-opportunity constraints on schedules.
+package farkas
+
+import (
+	"riotshare/internal/polyhedra"
+)
+
+// LinForm is an affine expression over the unknown vector u: Coef·u + K.
+type LinForm struct {
+	Coef []int64
+	K    int64
+}
+
+// Template describes ψ(z; u) over a polyhedron with Dim z-variables: the
+// coefficient of z_m is the affine form Var[m], and the constant term is
+// Const. All forms share the unknown dimension NU.
+type Template struct {
+	NU    int
+	Var   []LinForm // one per z variable
+	Const LinForm
+}
+
+// NewTemplate returns a zero template for dim z-variables and nu unknowns.
+func NewTemplate(dim, nu int) *Template {
+	t := &Template{NU: nu, Var: make([]LinForm, dim)}
+	for i := range t.Var {
+		t.Var[i] = LinForm{Coef: make([]int64, nu)}
+	}
+	t.Const = LinForm{Coef: make([]int64, nu)}
+	return t
+}
+
+// AddVarUnknown adds c*u[k] to the coefficient of z variable m.
+func (t *Template) AddVarUnknown(m, k int, c int64) *Template {
+	t.Var[m].Coef[k] += c
+	return t
+}
+
+// AddConstUnknown adds c*u[k] to the constant term.
+func (t *Template) AddConstUnknown(k int, c int64) *Template {
+	t.Const.Coef[k] += c
+	return t
+}
+
+// AddConst adds the literal c to the constant term.
+func (t *Template) AddConst(c int64) *Template {
+	t.Const.K += c
+	return t
+}
+
+// Apply returns the polyhedron over the unknowns u such that
+// ∀z ∈ P: ψ(z; u) >= 0. P must be non-empty for the lemma's equivalence; if
+// P is empty the returned constraints are vacuously sound (they describe a
+// superset of the true, unconstrained, solution set). Farkas multipliers are
+// eliminated over the rationals, as the lemma requires; the result is an
+// integer polyhedron over u.
+func Apply(p *polyhedra.Poly, t *Template) *polyhedra.Poly {
+	if len(t.Var) != p.Dim {
+		panic("farkas: template dimension mismatch")
+	}
+	// Split constraints: inequalities get λ_k >= 0, equalities get free μ_e.
+	var ineqs, eqs []polyhedra.Constraint
+	for _, c := range p.Cons {
+		if c.Eq {
+			eqs = append(eqs, c)
+		} else {
+			ineqs = append(ineqs, c)
+		}
+	}
+	nu := t.NU
+	nl := len(ineqs) + 1 // λ0 plus one per inequality
+	nm := len(eqs)
+	total := nu + nl + nm
+	lam0 := nu
+	lam := func(k int) int { return nu + 1 + k }
+	mu := func(e int) int { return nu + 1 + len(ineqs) + e }
+
+	sys := polyhedra.NewPoly(total)
+	sys.Rational = true
+
+	// Coefficient matching per z variable m:
+	//   Var[m](u) - Σ_k λ_k a_km - Σ_e μ_e e_em == 0.
+	for m := 0; m < p.Dim; m++ {
+		coef := make([]int64, total)
+		copy(coef, t.Var[m].Coef)
+		for k, c := range ineqs {
+			coef[lam(k)] = -c.Coef[m]
+		}
+		for e, c := range eqs {
+			coef[mu(e)] = -c.Coef[m]
+		}
+		sys.AddEq(coef, t.Var[m].K)
+	}
+	// Constant matching: Const(u) - λ0 - Σ_k λ_k b_k - Σ_e μ_e b_e == 0.
+	{
+		coef := make([]int64, total)
+		copy(coef, t.Const.Coef)
+		coef[lam0] = -1
+		for k, c := range ineqs {
+			coef[lam(k)] = -c.K
+		}
+		for e, c := range eqs {
+			coef[mu(e)] = -c.K
+		}
+		sys.AddEq(coef, t.Const.K)
+	}
+	// λ0 >= 0 and λ_k >= 0.
+	for k := 0; k < nl; k++ {
+		coef := make([]int64, total)
+		coef[nu+k] = 1
+		sys.AddIneq(coef, 0)
+	}
+	// Project out the multipliers (rational elimination).
+	out, _ := sys.ProjectOutRange(nu, nl+nm)
+	out.Rational = false // the unknowns (schedule coefficients) are integers
+	out.Simplify()
+	return out
+}
+
+// ApplyEq returns the constraints on u equivalent to ∀z ∈ P: ψ(z; u) == 0,
+// by applying the lemma to both ψ >= 0 and -ψ >= 0.
+func ApplyEq(p *polyhedra.Poly, t *Template) *polyhedra.Poly {
+	pos := Apply(p, t)
+	neg := Apply(p, t.Negate())
+	return polyhedra.Intersect(pos, neg)
+}
+
+// Negate returns the template for -ψ.
+func (t *Template) Negate() *Template {
+	out := NewTemplate(len(t.Var), t.NU)
+	for m := range t.Var {
+		for k, c := range t.Var[m].Coef {
+			out.Var[m].Coef[k] = -c
+		}
+		out.Var[m].K = -t.Var[m].K
+	}
+	for k, c := range t.Const.Coef {
+		out.Const.Coef[k] = -c
+	}
+	out.Const.K = -t.Const.K
+	return out
+}
+
+// Shifted returns a copy of the template with the constant term shifted by
+// delta (ψ - delta >= 0 expresses ψ >= delta).
+func (t *Template) Shifted(delta int64) *Template {
+	out := NewTemplate(len(t.Var), t.NU)
+	for m := range t.Var {
+		copy(out.Var[m].Coef, t.Var[m].Coef)
+		out.Var[m].K = t.Var[m].K
+	}
+	copy(out.Const.Coef, t.Const.Coef)
+	out.Const.K = t.Const.K - delta
+	return out
+}
+
+// Eval computes ψ(z; u) for concrete z and u — used by tests to
+// cross-validate Apply against brute force.
+func (t *Template) Eval(z, u []int64) int64 {
+	var v int64
+	for m, f := range t.Var {
+		coef := f.K
+		for k, c := range f.Coef {
+			coef += c * u[k]
+		}
+		v += coef * z[m]
+	}
+	v += t.Const.K
+	for k, c := range t.Const.Coef {
+		v += c * u[k]
+	}
+	return v
+}

@@ -1,0 +1,178 @@
+package farkas
+
+import (
+	"math/rand"
+	"testing"
+
+	"riotshare/internal/polyhedra"
+)
+
+// The paper's worked example (§5.2): dependence s2WE→s2WE with polyhedron
+// P = {(i,j,k,i',j',k') | i'=i, j'=j, k'=k+1}. Require
+// θ·(i',j',k') - θ·(i,j,k) >= 1 with θ = (α,β,γ): the derivation in the
+// paper yields α, β free and γ >= 1.
+func TestPaperWorkedExample(t *testing.T) {
+	p := polyhedra.NewPoly(6, "i", "j", "k", "i'", "j'", "k'")
+	p.AddEq([]int64{-1, 0, 0, 1, 0, 0}, 0)  // i' - i = 0
+	p.AddEq([]int64{0, -1, 0, 0, 1, 0}, 0)  // j' - j = 0
+	p.AddEq([]int64{0, 0, -1, 0, 0, 1}, -1) // k' - k - 1 = 0
+
+	// Unknowns u = (α, β, γ). ψ = α(i'-i) + β(j'-j) + γ(k'-k) - 1.
+	tpl := NewTemplate(6, 3)
+	tpl.AddVarUnknown(0, 0, -1) // -α i
+	tpl.AddVarUnknown(1, 1, -1)
+	tpl.AddVarUnknown(2, 2, -1)
+	tpl.AddVarUnknown(3, 0, 1) // +α i'
+	tpl.AddVarUnknown(4, 1, 1)
+	tpl.AddVarUnknown(5, 2, 1)
+	tpl.AddConst(-1) // strict: >= 1
+
+	res := Apply(p, tpl)
+	// γ >= 1 required; α, β unconstrained.
+	for _, u := range [][]int64{{0, 0, 1}, {5, -7, 2}, {-3, 9, 1}} {
+		if !res.Contains(u) {
+			t.Errorf("u=%v should satisfy the Farkas constraints (%s)", u, res)
+		}
+	}
+	for _, u := range [][]int64{{0, 0, 0}, {1, 1, -1}, {9, 9, 0}} {
+		if res.Contains(u) {
+			t.Errorf("u=%v should violate γ>=1 (%s)", u, res)
+		}
+	}
+}
+
+// Brute-force cross-validation: for random small polyhedra and templates,
+// u ∈ Apply(P, t) iff ψ(z; u) >= 0 for all enumerated z ∈ P.
+func TestApplyMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 60; iter++ {
+		dim := 1 + rng.Intn(2)
+		nu := 1 + rng.Intn(2)
+		p := polyhedra.NewPoly(dim)
+		for i := 0; i < dim; i++ {
+			p.AddRange(i, 0, int64(1+rng.Intn(3)))
+		}
+		if rng.Intn(2) == 0 && dim == 2 {
+			p.AddEq([]int64{1, -1}, int64(rng.Intn(3)-1))
+		}
+		pts, err := p.Enumerate(1000)
+		if err != nil || len(pts) == 0 {
+			continue
+		}
+		tpl := NewTemplate(dim, nu)
+		for m := 0; m < dim; m++ {
+			for k := 0; k < nu; k++ {
+				tpl.AddVarUnknown(m, k, int64(rng.Intn(3)-1))
+			}
+			tpl.Var[m].K = int64(rng.Intn(3) - 1)
+		}
+		tpl.AddConst(int64(rng.Intn(3) - 1))
+
+		res := Apply(p, tpl)
+		// Try all u in a small grid.
+		grid := []int64{-2, -1, 0, 1, 2}
+		u := make([]int64, nu)
+		var rec func(d int)
+		rec = func(d int) {
+			if d == nu {
+				want := true
+				for _, z := range pts {
+					if tpl.Eval(z, u) < 0 {
+						want = false
+						break
+					}
+				}
+				got := res.Contains(u)
+				if got != want {
+					t.Fatalf("iter %d: mismatch at u=%v: farkas=%v brute=%v\nP=%s", iter, u, got, want, p)
+				}
+				return
+			}
+			for _, v := range grid {
+				u[d] = v
+				rec(d + 1)
+			}
+		}
+		rec(0)
+	}
+}
+
+// ApplyEq: ∀z∈P ψ==0 must accept exactly the u making ψ vanish identically
+// on P.
+func TestApplyEq(t *testing.T) {
+	// P = {0 <= z <= 3}; ψ = u0*z + u1. ψ==0 on P iff u0==0 and u1==0.
+	p := polyhedra.NewPoly(1)
+	p.AddRange(0, 0, 3)
+	tpl := NewTemplate(1, 2)
+	tpl.AddVarUnknown(0, 0, 1)
+	tpl.AddConstUnknown(1, 1)
+	res := ApplyEq(p, tpl)
+	if !res.Contains([]int64{0, 0}) {
+		t.Error("(0,0) must satisfy")
+	}
+	for _, u := range [][]int64{{1, 0}, {0, 1}, {-1, 2}} {
+		if res.Contains(u) {
+			t.Errorf("u=%v should fail ψ==0", u)
+		}
+	}
+}
+
+// ApplyEq on a degenerate (single-point) polyhedron: ψ must vanish at that
+// point but coefficients may trade off against the constant.
+func TestApplyEqSinglePoint(t *testing.T) {
+	p := polyhedra.NewPoly(1)
+	p.AddEq([]int64{1}, -2) // z == 2
+	tpl := NewTemplate(1, 2)
+	tpl.AddVarUnknown(0, 0, 1) // u0*z
+	tpl.AddConstUnknown(1, 1)  // + u1
+	res := ApplyEq(p, tpl)
+	// 2*u0 + u1 == 0.
+	if !res.Contains([]int64{1, -2}) || !res.Contains([]int64{0, 0}) || !res.Contains([]int64{-3, 6}) {
+		t.Errorf("points on 2u0+u1=0 must satisfy (%s)", res)
+	}
+	if res.Contains([]int64{1, 0}) {
+		t.Error("(1,0) gives ψ(2)=2 ≠ 0")
+	}
+}
+
+func TestShifted(t *testing.T) {
+	tpl := NewTemplate(1, 1)
+	tpl.AddVarUnknown(0, 0, 1)
+	s := tpl.Shifted(1)
+	if s.Const.K != -1 || tpl.Const.K != 0 {
+		t.Fatal("Shifted should subtract from a copy")
+	}
+}
+
+func TestNegate(t *testing.T) {
+	tpl := NewTemplate(2, 1)
+	tpl.AddVarUnknown(0, 0, 3)
+	tpl.AddConst(5)
+	n := tpl.Negate()
+	if n.Var[0].Coef[0] != -3 || n.Const.K != -5 {
+		t.Fatal("Negate wrong")
+	}
+	if got := n.Eval([]int64{2, 0}, []int64{1}); got != -(3*2 + 5) {
+		t.Fatalf("Eval after negate: %d", got)
+	}
+}
+
+// Unbounded polyhedron: ψ >= 0 on {z >= 0} with ψ = u0*z + u1 requires
+// u0 >= 0 and u1 >= 0.
+func TestApplyUnbounded(t *testing.T) {
+	p := polyhedra.NewPoly(1)
+	p.AddIneq([]int64{1}, 0) // z >= 0
+	tpl := NewTemplate(1, 2)
+	tpl.AddVarUnknown(0, 0, 1)
+	tpl.AddConstUnknown(1, 1)
+	res := Apply(p, tpl)
+	if !res.Contains([]int64{0, 0}) || !res.Contains([]int64{2, 3}) {
+		t.Error("nonnegative coefficients should satisfy")
+	}
+	if res.Contains([]int64{-1, 100}) {
+		t.Error("u0=-1 fails for large z")
+	}
+	if res.Contains([]int64{1, -1}) {
+		t.Error("u1=-1 fails at z=0")
+	}
+}

@@ -1,0 +1,171 @@
+package ops
+
+import (
+	"testing"
+
+	"riotshare/internal/prog"
+)
+
+func TestAddMulStructure(t *testing.T) {
+	p := AddMul(AddMulConfig{
+		N1: 3, N2: 4, N3: 2,
+		ABBlock: Dims{Rows: 8, Cols: 6},
+		DBlock:  Dims{Rows: 6, Cols: 5},
+	})
+	if len(p.Stmts) != 2 {
+		t.Fatalf("want 2 statements, got %d", len(p.Stmts))
+	}
+	if got := len(p.Arrays); got != 5 {
+		t.Fatalf("want 5 arrays, got %d", got)
+	}
+	// Block shapes must chain: C = A shape, D rows = A cols, E = A rows × D cols.
+	if p.Arrays["C"].BlockRows != 8 || p.Arrays["C"].BlockCols != 6 {
+		t.Fatal("C block shape wrong")
+	}
+	if p.Arrays["D"].BlockRows != 6 || p.Arrays["D"].BlockCols != 5 {
+		t.Fatal("D block shape wrong")
+	}
+	if p.Arrays["E"].BlockRows != 8 || p.Arrays["E"].BlockCols != 5 {
+		t.Fatal("E block shape wrong")
+	}
+	if !p.Arrays["C"].Transient {
+		t.Fatal("C must be transient (intermediate)")
+	}
+	// s2 = gemm with a guarded accumulator read.
+	s2 := p.Stmts[1]
+	if s2.Kernel != "gemm" {
+		t.Fatalf("s2 kernel %q", s2.Kernel)
+	}
+	guarded := 0
+	for _, ac := range s2.Accesses {
+		if ac.When != nil {
+			guarded++
+		}
+	}
+	if guarded != 1 {
+		t.Fatalf("s2 should have exactly one guarded access, got %d", guarded)
+	}
+}
+
+func TestAddMulLogicalBytes(t *testing.T) {
+	p := AddMul(AddMulConfig{
+		N1: 12, N2: 12, N3: 1,
+		ABBlock:   Dims{Rows: 6, Cols: 4},
+		DBlock:    Dims{Rows: 4, Cols: 5},
+		LogicalAB: Dims{Rows: 6000, Cols: 4000},
+		LogicalD:  Dims{Rows: 4000, Cols: 5000},
+	})
+	if got := p.Arrays["A"].LogicalBlockBytes; got != 6000*4000*8 {
+		t.Fatalf("A logical bytes %d", got)
+	}
+	if got := p.Arrays["E"].LogicalBlockBytes; got != 6000*5000*8 {
+		t.Fatalf("E logical bytes %d", got)
+	}
+	// Physical stays small.
+	if got := p.Arrays["A"].PhysicalBlockBytes(); got != 6*4*8 {
+		t.Fatalf("A physical bytes %d", got)
+	}
+}
+
+func TestTwoMMStructure(t *testing.T) {
+	p := TwoMM(TwoMMConfig{
+		N1: 6, N2: 10, N3: 6, N4: 10,
+		ABlock: Dims{Rows: 8, Cols: 7}, BBlock: Dims{Rows: 7, Cols: 3}, DBlock: Dims{Rows: 7, Cols: 3},
+	})
+	if len(p.Stmts) != 2 || len(p.Arrays) != 5 {
+		t.Fatal("structure wrong")
+	}
+	// Both statements read A.
+	for _, st := range p.Stmts {
+		found := false
+		for _, ac := range st.Accesses {
+			if ac.Array == "A" && ac.Type == prog.Read {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s should read A", st.Name)
+		}
+	}
+	if p.Arrays["C"].GridRows != 6 || p.Arrays["C"].GridCols != 10 {
+		t.Fatal("C grid wrong")
+	}
+}
+
+func TestLinRegStructure(t *testing.T) {
+	p := LinReg(LinRegConfig{N: 25, XBlock: Dims{Rows: 60, Cols: 40}, YBlock: Dims{Rows: 60, Cols: 4}})
+	if len(p.Stmts) != 7 {
+		t.Fatalf("want 7 statements, got %d", len(p.Stmts))
+	}
+	// Depth-0 statements: s3 (inversion) and s4 (small multiply).
+	if p.Stmts[2].Ds() != 0 || p.Stmts[3].Ds() != 0 {
+		t.Fatal("s3/s4 should be depth-0")
+	}
+	// U is m×m where m = X block cols.
+	if p.Arrays["U"].BlockRows != 40 || p.Arrays["U"].BlockCols != 40 {
+		t.Fatal("U block shape wrong")
+	}
+	// Transient intermediates per the paper's pipeline.
+	for _, name := range []string{"U", "V", "W", "Yh", "Ev"} {
+		if !p.Arrays[name].Transient {
+			t.Errorf("%s should be transient", name)
+		}
+	}
+	for _, name := range []string{"X", "Y", "Bh", "R"} {
+		if p.Arrays[name].Transient {
+			t.Errorf("%s should not be transient", name)
+		}
+	}
+}
+
+func TestTransposeFlags(t *testing.T) {
+	p := prog.New("tflags", "n")
+	Mat{Name: "A", Block: Dims{4, 4}, Grid: Dims{2, 2}}.add(p)
+	Mat{Name: "B", Block: Dims{4, 4}, Grid: Dims{2, 2}}.add(p)
+	Mat{Name: "Cc", Block: Dims{4, 4}, Grid: Dims{2, 2}}.add(p)
+	s := MatMulAcc(p, "s", "Cc", "A", "B", true, false, "n", "n", "n")
+	if s.Kernel != "gemm:ta" {
+		t.Fatalf("kernel %q", s.Kernel)
+	}
+	p.Bind("n", 2)
+	// Aᵀ access: block subscript (k, i) instead of (i, k).
+	params := p.ParamValues()
+	r, c := s.Accesses[0].BlockAt([]int64{1, 0, 0}, params) // (i,j,k)=(1,0,0)
+	if r != 0 || c != 1 {
+		t.Fatalf("transposed access at (1,0,0) = (%d,%d), want (0,1)", r, c)
+	}
+}
+
+func TestScanAndJoinGuards(t *testing.T) {
+	p := prog.New("mix", "n", "m")
+	Mat{Name: "Rel", Block: Dims{4, 2}, Grid: Dims{4, 1}}.add(p)
+	Mat{Name: "Rel2", Block: Dims{4, 2}, Grid: Dims{3, 1}}.add(p)
+	Mat{Name: "Agg", Block: Dims{1, 1}, Grid: Dims{1, 1}}.add(p)
+	Mat{Name: "J", Block: Dims{1, 1}, Grid: Dims{1, 1}}.add(p)
+	Scan(p, "s1", "Rel", "Agg", "n")
+	NLJoin(p, "s2", "J", "Rel", "Rel2", "n", "m")
+	p.Bind("n", 4).Bind("m", 3)
+	params := p.ParamValues()
+	// Scan accumulator read inactive at r=0.
+	s1 := p.Stmts[0]
+	if s1.Accesses[1].Guarded([]int64{0}, params) {
+		t.Fatal("scan accumulator read should be guarded at r=0")
+	}
+	if !s1.Accesses[1].Guarded([]int64{1}, params) {
+		t.Fatal("scan accumulator read should fire at r=1")
+	}
+	// Join accumulator read inactive only at (0,0).
+	s2 := p.Stmts[1]
+	if s2.Accesses[2].Guarded([]int64{0, 0}, params) {
+		t.Fatal("join accumulator guarded at (0,0)")
+	}
+	if !s2.Accesses[2].Guarded([]int64{0, 1}, params) {
+		t.Fatal("join accumulator should fire at (0,1)")
+	}
+}
+
+func TestDimsBytes(t *testing.T) {
+	if (Dims{Rows: 10, Cols: 20}).Bytes() != 1600 {
+		t.Fatal("Bytes wrong")
+	}
+}

@@ -1,0 +1,163 @@
+package ops
+
+import (
+	"riotshare/internal/prog"
+)
+
+// AddMulConfig sizes the Example 1 program (matrix addition followed by
+// matrix multiplication, §6.1): A, B, C are n1×n2 block grids, D is n2×n3,
+// E is n1×n3.
+type AddMulConfig struct {
+	N1, N2, N3 int64
+	// ABBlock is the block shape of A, B, C (and the row shape of E);
+	// DBlock is the block shape of D (and the column shape of E).
+	ABBlock, DBlock Dims
+	// Logical block shapes for paper-scale I/O accounting (zero = physical).
+	LogicalAB, LogicalD Dims
+}
+
+// AddMul builds  C = A + B;  E = C · D  (the paper's Example 1).
+func AddMul(cfg AddMulConfig) *prog.Program {
+	p := prog.New("addmul", "n1", "n2", "n3")
+	eBlock := Dims{Rows: cfg.ABBlock.Rows, Cols: cfg.DBlock.Cols}
+	eLogical := Dims{}
+	if cfg.LogicalAB.Rows != 0 {
+		eLogical = Dims{Rows: cfg.LogicalAB.Rows, Cols: cfg.LogicalD.Cols}
+	}
+	Mat{Name: "A", Block: cfg.ABBlock, Grid: Dims{int(cfg.N1), int(cfg.N2)}, Logical: cfg.LogicalAB}.add(p)
+	Mat{Name: "B", Block: cfg.ABBlock, Grid: Dims{int(cfg.N1), int(cfg.N2)}, Logical: cfg.LogicalAB}.add(p)
+	Mat{Name: "C", Block: cfg.ABBlock, Grid: Dims{int(cfg.N1), int(cfg.N2)}, Logical: cfg.LogicalAB, Transient: true}.add(p)
+	Mat{Name: "D", Block: Dims{cfg.ABBlock.Cols, cfg.DBlock.Cols}, Grid: Dims{int(cfg.N2), int(cfg.N3)}, Logical: cfg.LogicalD}.add(p)
+	Mat{Name: "E", Block: eBlock, Grid: Dims{int(cfg.N1), int(cfg.N3)}, Logical: eLogical}.add(p)
+
+	MatAdd(p, "s1", "C", "A", "B", "n1", "n2")
+	MatMulAcc(p, "s2", "E", "C", "D", false, false, "n1", "n3", "n2")
+
+	p.Bind("n1", cfg.N1).Bind("n2", cfg.N2).Bind("n3", cfg.N3)
+	return p
+}
+
+// TwoMMConfig sizes the two-matrix-multiplication program (§6.2):
+// C = A·B with A n1×n3 blocks, B n3×n2; E = A·D with D n3×n4.
+type TwoMMConfig struct {
+	N1, N2, N3, N4 int64
+	ABlock         Dims // block shape of A (rows shared by C, E)
+	BBlock         Dims // block shape of B (cols shared by C); rows = ABlock.Cols
+	DBlock         Dims // block shape of D (cols shared by E); rows = ABlock.Cols
+	LogicalA       Dims
+	LogicalB       Dims
+	LogicalD       Dims
+}
+
+// TwoMM builds  C = A·B;  E = A·D  (§6.2).
+func TwoMM(cfg TwoMMConfig) *prog.Program {
+	p := prog.New("twomm", "n1", "n2", "n3", "n4")
+	cBlock := Dims{cfg.ABlock.Rows, cfg.BBlock.Cols}
+	eBlock := Dims{cfg.ABlock.Rows, cfg.DBlock.Cols}
+	var cLogical, eLogical Dims
+	if cfg.LogicalA.Rows != 0 {
+		cLogical = Dims{cfg.LogicalA.Rows, cfg.LogicalB.Cols}
+		eLogical = Dims{cfg.LogicalA.Rows, cfg.LogicalD.Cols}
+	}
+	Mat{Name: "A", Block: cfg.ABlock, Grid: Dims{int(cfg.N1), int(cfg.N3)}, Logical: cfg.LogicalA}.add(p)
+	Mat{Name: "B", Block: Dims{cfg.ABlock.Cols, cfg.BBlock.Cols}, Grid: Dims{int(cfg.N3), int(cfg.N2)}, Logical: cfg.LogicalB}.add(p)
+	Mat{Name: "C", Block: cBlock, Grid: Dims{int(cfg.N1), int(cfg.N2)}, Logical: cLogical}.add(p)
+	Mat{Name: "D", Block: Dims{cfg.ABlock.Cols, cfg.DBlock.Cols}, Grid: Dims{int(cfg.N3), int(cfg.N4)}, Logical: cfg.LogicalD}.add(p)
+	Mat{Name: "E", Block: eBlock, Grid: Dims{int(cfg.N1), int(cfg.N4)}, Logical: eLogical}.add(p)
+
+	MatMulAcc(p, "s1", "C", "A", "B", false, false, "n1", "n2", "n3")
+	MatMulAcc(p, "s2", "E", "A", "D", false, false, "n1", "n4", "n3")
+
+	p.Bind("n1", cfg.N1).Bind("n2", cfg.N2).Bind("n3", cfg.N3).Bind("n4", cfg.N4)
+	return p
+}
+
+// LinRegConfig sizes the linear-regression program (§6.3): X has n row
+// blocks (each XBlock), Y has n row blocks (each YBlock); U, W are single
+// m×m blocks; V, Bhat single m×k blocks; R a single scalar block.
+type LinRegConfig struct {
+	N                  int64
+	XBlock, YBlock     Dims
+	LogicalX, LogicalY Dims
+}
+
+// LinReg builds the paper's seven-step ordinary-least-squares program:
+//
+//	U = XᵀX; V = XᵀY; W = U⁻¹; β̂ = W·V; Ŷ = X·β̂; E = Y - Ŷ; R = RSS(E)
+//
+// with matrix transpose passed as a flag to multiplication (§6.3).
+func LinReg(cfg LinRegConfig) *prog.Program {
+	p := prog.New("linreg", "n")
+	m := cfg.XBlock.Cols
+	k := cfg.YBlock.Cols
+	var logU, logV Dims
+	if cfg.LogicalX.Rows != 0 {
+		logU = Dims{cfg.LogicalX.Cols, cfg.LogicalX.Cols}
+		logV = Dims{cfg.LogicalX.Cols, cfg.LogicalY.Cols}
+	}
+	Mat{Name: "X", Block: cfg.XBlock, Grid: Dims{int(cfg.N), 1}, Logical: cfg.LogicalX}.add(p)
+	Mat{Name: "Y", Block: cfg.YBlock, Grid: Dims{int(cfg.N), 1}, Logical: cfg.LogicalY}.add(p)
+	Mat{Name: "U", Block: Dims{m, m}, Grid: Dims{1, 1}, Logical: logU, Transient: true}.add(p)
+	Mat{Name: "V", Block: Dims{m, k}, Grid: Dims{1, 1}, Logical: logV, Transient: true}.add(p)
+	Mat{Name: "W", Block: Dims{m, m}, Grid: Dims{1, 1}, Logical: logU, Transient: true}.add(p)
+	Mat{Name: "Bh", Block: Dims{m, k}, Grid: Dims{1, 1}, Logical: logV}.add(p)
+	Mat{Name: "Yh", Block: cfg.YBlock, Grid: Dims{int(cfg.N), 1}, Logical: cfg.LogicalY, Transient: true}.add(p)
+	Mat{Name: "Ev", Block: cfg.YBlock, Grid: Dims{int(cfg.N), 1}, Logical: cfg.LogicalY, Transient: true}.add(p)
+	Mat{Name: "R", Block: Dims{1, k}, Grid: Dims{1, 1}}.add(p)
+
+	// s1: U += X[r]ᵀ·X[r]. The two reads of X[r,0] have identical Φ and are
+	// one access (§4.1). Loop "i,j" of the full multiplication collapse:
+	// U is a single block.
+	p.NewNest()
+	s1 := p.NewStatement("s1", "r")
+	s1.Range("r", prog.C(0), prog.V("n"))
+	s1.Access(prog.Read, "X", prog.V("r"), prog.C(0))
+	s1.AccessWhen(prog.Read, "U", prog.C(0), prog.C(0), []prog.Cond{prog.GE(prog.V("r").AddK(-1))})
+	s1.Access(prog.Write, "U", prog.C(0), prog.C(0))
+	s1.SetKernel("gemm:ta:self").SetNote("U+=X[r]ᵀX[r]")
+
+	// s2: V += X[r]ᵀ·Y[r].
+	p.NewNest()
+	s2 := p.NewStatement("s2", "r")
+	s2.Range("r", prog.C(0), prog.V("n"))
+	s2.Access(prog.Read, "X", prog.V("r"), prog.C(0))
+	s2.Access(prog.Read, "Y", prog.V("r"), prog.C(0))
+	s2.AccessWhen(prog.Read, "V", prog.C(0), prog.C(0), []prog.Cond{prog.GE(prog.V("r").AddK(-1))})
+	s2.Access(prog.Write, "V", prog.C(0), prog.C(0))
+	s2.SetKernel("gemm:ta").SetNote("V+=X[r]ᵀY[r]")
+
+	// s3: W = U⁻¹.
+	MatInv(p, "s3", "W", "U")
+
+	// s4: β̂ = W·V (single blocks).
+	p.NewNest()
+	s4 := p.NewStatement("s4")
+	s4.Access(prog.Read, "W", prog.C(0), prog.C(0))
+	s4.Access(prog.Read, "V", prog.C(0), prog.C(0))
+	s4.Access(prog.Write, "Bh", prog.C(0), prog.C(0))
+	s4.SetKernel("gemm").SetNote("β̂=W·V")
+
+	// s5: Ŷ[r] = X[r]·β̂.
+	p.NewNest()
+	s5 := p.NewStatement("s5", "r")
+	s5.Range("r", prog.C(0), prog.V("n"))
+	s5.Access(prog.Read, "X", prog.V("r"), prog.C(0))
+	s5.Access(prog.Read, "Bh", prog.C(0), prog.C(0))
+	s5.Access(prog.Write, "Yh", prog.V("r"), prog.C(0))
+	s5.SetKernel("gemm").SetNote("Ŷ[r]=X[r]·β̂")
+
+	// s6: E = Y - Ŷ over row blocks.
+	p.NewNest()
+	s6 := p.NewStatement("s6", "r")
+	s6.Range("r", prog.C(0), prog.V("n"))
+	s6.Access(prog.Read, "Y", prog.V("r"), prog.C(0))
+	s6.Access(prog.Read, "Yh", prog.V("r"), prog.C(0))
+	s6.Access(prog.Write, "Ev", prog.V("r"), prog.C(0))
+	s6.SetKernel("sub").SetNote("E[r]=Y[r]-Ŷ[r]")
+
+	// s7: R = RSS(E).
+	RSS(p, "s7", "R", "Ev", "n")
+
+	p.Bind("n", cfg.N)
+	return p
+}

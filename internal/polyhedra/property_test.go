@@ -1,0 +1,151 @@
+package polyhedra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randPoly builds a random bounded polyhedron with small coefficients.
+func randPoly(rng *rand.Rand, dim int) *Poly {
+	p := box(dim, 0, int64(2+rng.Intn(4)))
+	extra := rng.Intn(3)
+	for e := 0; e < extra; e++ {
+		coef := make([]int64, dim)
+		for i := range coef {
+			coef[i] = int64(rng.Intn(5) - 2)
+		}
+		k := int64(rng.Intn(7) - 3)
+		if rng.Intn(4) == 0 {
+			p.AddEq(coef, k)
+		} else {
+			p.AddIneq(coef, k)
+		}
+	}
+	return p
+}
+
+// Property: SampleInt succeeds exactly when Enumerate finds points, and the
+// sample is one of them.
+func TestSampleEnumerateConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 300; iter++ {
+		dim := 1 + rng.Intn(3)
+		p := randPoly(rng, dim)
+		pts, err := p.Enumerate(100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sample, ok := p.SampleInt(8)
+		if ok != (len(pts) > 0) {
+			t.Fatalf("sample ok=%v but %d points exist in %s", ok, len(pts), p)
+		}
+		if ok && !p.Contains(sample) {
+			t.Fatalf("sample %v not in polyhedron %s", sample, p)
+		}
+	}
+}
+
+// Property: intersection of two random polyhedra contains exactly the
+// points in both.
+func TestIntersectionSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 150; iter++ {
+		dim := 1 + rng.Intn(2)
+		a := randPoly(rng, dim)
+		b := randPoly(rng, dim)
+		c := Intersect(a, b)
+		pts, err := box(dim, -1, 7).Enumerate(100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range pts {
+			want := a.Contains(pt) && b.Contains(pt)
+			if got := c.Contains(pt); got != want {
+				t.Fatalf("intersection wrong at %v: got %v want %v", pt, got, want)
+			}
+		}
+	}
+}
+
+// Property: Simplify never changes the integer point set.
+func TestSimplifyPreservesPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 200; iter++ {
+		dim := 1 + rng.Intn(3)
+		p := randPoly(rng, dim)
+		q := p.Clone()
+		feasible := q.Simplify()
+		grid, err := box(dim, -1, 7).Enumerate(100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		any := false
+		for _, pt := range grid {
+			want := p.Contains(pt)
+			any = any || want
+			if got := q.Contains(pt); got != want {
+				t.Fatalf("Simplify changed membership at %v:\nbefore %s\nafter %s", pt, p, q)
+			}
+		}
+		if !feasible && any {
+			t.Fatalf("Simplify declared empty but points exist: %s", p)
+		}
+	}
+}
+
+// Property: projection contains exactly the shadows of integer points for
+// unit-coefficient systems (exact case), and at least the shadows otherwise
+// (sound over-approximation).
+func TestProjectionSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 150; iter++ {
+		p := randPoly(rng, 3)
+		proj, exact := p.EliminateVar(2)
+		pts, err := p.Enumerate(100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := map[[2]int64]bool{}
+		for _, pt := range pts {
+			shadow[[2]int64{pt[0], pt[1]}] = true
+			if !proj.Contains(pt[:2]) {
+				t.Fatalf("projection lost point %v of %s", pt, p)
+			}
+		}
+		if !exact {
+			continue
+		}
+		// Exact: every projected integer point must have a preimage.
+		ppts, err := proj.Enumerate(100000)
+		if err != nil {
+			continue // unbounded projection; skip
+		}
+		for _, q := range ppts {
+			if !shadow[[2]int64{q[0], q[1]}] {
+				t.Fatalf("exact projection invented point %v for %s", q, p)
+			}
+		}
+	}
+}
+
+// Property: subtraction then union restores the original point set.
+func TestSubtractUnionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 100; iter++ {
+		a := randPoly(rng, 2)
+		b := randPoly(rng, 2)
+		diff := FromPoly(a).SubtractPoly(b)
+		both := IntersectSet(FromPoly(a), FromPoly(b))
+		grid, err := box(2, -1, 7).Enumerate(100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range grid {
+			inA := a.Contains(pt)
+			got := diff.Contains(pt) || both.Contains(pt)
+			if got != inA {
+				t.Fatalf("A != (A\\B) ∪ (A∩B) at %v", pt)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package prog
+
+import (
+	"testing"
+)
+
+// example1 builds the paper's Example 1 program:
+//
+//	for i, k: C[i,k] = A[i,k] + B[i,k]          // s1
+//	for i, j, k: E[i,j] += C[i,k] * D[k,j]      // s2 (read of E guarded k>=1)
+func example1(n1, n2, n3 int64) *Program {
+	p := New("addmul", "n1", "n2", "n3")
+	p.AddArray(&Array{Name: "A", BlockRows: 8, BlockCols: 8, GridRows: int(n1), GridCols: int(n2)})
+	p.AddArray(&Array{Name: "B", BlockRows: 8, BlockCols: 8, GridRows: int(n1), GridCols: int(n2)})
+	p.AddArray(&Array{Name: "C", BlockRows: 8, BlockCols: 8, GridRows: int(n1), GridCols: int(n2)})
+	p.AddArray(&Array{Name: "D", BlockRows: 8, BlockCols: 8, GridRows: int(n2), GridCols: int(n3)})
+	p.AddArray(&Array{Name: "E", BlockRows: 8, BlockCols: 8, GridRows: int(n1), GridCols: int(n3)})
+
+	p.NewNest()
+	s1 := p.NewStatement("s1", "i", "k")
+	s1.Range("i", C(0), V("n1")).Range("k", C(0), V("n2"))
+	s1.Access(Read, "A", V("i"), V("k"))
+	s1.Access(Read, "B", V("i"), V("k"))
+	s1.Access(Write, "C", V("i"), V("k"))
+	s1.SetKernel("add").SetNote("C[i,k]=A[i,k]+B[i,k]")
+
+	p.NewNest()
+	s2 := p.NewStatement("s2", "i", "j", "k")
+	s2.Range("i", C(0), V("n1")).Range("j", C(0), V("n3")).Range("k", C(0), V("n2"))
+	s2.Access(Read, "C", V("i"), V("k"))
+	s2.Access(Read, "D", V("k"), V("j"))
+	s2.AccessWhen(Read, "E", V("i"), V("j"), []Cond{GE(V("k").AddK(-1))})
+	s2.Access(Write, "E", V("i"), V("j"))
+	s2.SetKernel("gemm-acc").SetNote("E[i,j]+=C[i,k]*D[k,j]")
+
+	p.Bind("n1", n1).Bind("n2", n2).Bind("n3", n3)
+	return p
+}
+
+func TestBuilderBasics(t *testing.T) {
+	p := example1(3, 4, 2)
+	if len(p.Stmts) != 2 || p.DTilde() != 3 {
+		t.Fatalf("stmts=%d dtilde=%d", len(p.Stmts), p.DTilde())
+	}
+	s1, s2 := p.Stmts[0], p.Stmts[1]
+	if s1.Ds() != 2 || s2.Ds() != 3 {
+		t.Fatal("depths wrong")
+	}
+	if s1.Nest != 0 || s2.Nest != 1 {
+		t.Fatal("nest assignment wrong")
+	}
+	if s2.WriteAccess() == nil || s2.WriteAccess().Array != "E" {
+		t.Fatal("write access lookup wrong")
+	}
+}
+
+func TestInstancesEnumeration(t *testing.T) {
+	p := example1(3, 4, 2)
+	inst1, err := p.Instances(p.Stmts[0], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst1) != 12 {
+		t.Fatalf("s1 instances=%d want 12", len(inst1))
+	}
+	inst2, err := p.Instances(p.Stmts[1], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst2) != 24 {
+		t.Fatalf("s2 instances=%d want 24", len(inst2))
+	}
+}
+
+func TestAccessGuard(t *testing.T) {
+	p := example1(3, 4, 2)
+	s2 := p.Stmts[1]
+	params := p.ParamValues()
+	var eRead *Access
+	for i := range s2.Accesses {
+		ac := &s2.Accesses[i]
+		if ac.Type == Read && ac.Array == "E" {
+			eRead = ac
+		}
+	}
+	if eRead == nil {
+		t.Fatal("missing guarded read of E")
+	}
+	if eRead.Guarded([]int64{0, 0, 0}, params) {
+		t.Fatal("E read should be guarded out at k=0")
+	}
+	if !eRead.Guarded([]int64{0, 0, 1}, params) {
+		t.Fatal("E read should happen at k=1")
+	}
+}
+
+func TestBlockAt(t *testing.T) {
+	p := example1(3, 4, 2)
+	s2 := p.Stmts[1]
+	params := p.ParamValues()
+	// D access is D[k,j]: at (i,j,k)=(1,2,3) block is (3,2).
+	var dRead *Access
+	for i := range s2.Accesses {
+		if s2.Accesses[i].Array == "D" {
+			dRead = &s2.Accesses[i]
+		}
+	}
+	r, c := dRead.BlockAt([]int64{1, 2, 3}, params)
+	if r != 3 || c != 2 {
+		t.Fatalf("D block at (1,2,3) = (%d,%d) want (3,2)", r, c)
+	}
+}
+
+func TestOriginalScheduleOrder(t *testing.T) {
+	p := example1(2, 2, 2)
+	sch := p.OriginalSchedule()
+	params := p.ParamValues()
+	s1, s2 := p.Stmts[0], p.Stmts[1]
+	// Every s1 instance precedes every s2 instance.
+	t1 := sch.TimeOf(s1, []int64{1, 1}, params)
+	t2 := sch.TimeOf(s2, []int64{0, 0, 0}, params)
+	if !LexLess(t1, t2) {
+		t.Fatalf("s1(1,1)=%v should precede s2(0,0,0)=%v", t1, t2)
+	}
+	// Within s2, loop order i,j,k.
+	a := sch.TimeOf(s2, []int64{0, 1, 1}, params)
+	b := sch.TimeOf(s2, []int64{0, 1, 0}, params)
+	if !LexLess(b, a) {
+		t.Fatal("k should be innermost in original order")
+	}
+	c := sch.TimeOf(s2, []int64{1, 0, 0}, params)
+	if !LexLess(a, c) {
+		t.Fatal("i should dominate order")
+	}
+}
+
+func TestOriginalScheduleSameNest(t *testing.T) {
+	// Two statements in the same loop: for i { s1; s2 } — interleaved.
+	p := New("mini", "n")
+	p.AddArray(&Array{Name: "A", BlockRows: 4, BlockCols: 1, GridRows: 8, GridCols: 1})
+	p.NewNest()
+	s1 := p.NewStatement("s1", "i")
+	s1.Range("i", C(0), V("n"))
+	s1.Access(Write, "A", V("i"), C(0))
+	s2 := p.NewStatement("s2", "i")
+	s2.Range("i", C(0), V("n"))
+	s2.Access(Read, "A", V("n").Minus(V("i")).AddK(-1), C(0))
+	p.Bind("n", 4)
+	if s1.Nest != s2.Nest {
+		t.Fatal("statements should share a nest")
+	}
+	if s1.Pos != 0 || s2.Pos != 1 {
+		t.Fatalf("positions wrong: %d %d", s1.Pos, s2.Pos)
+	}
+	sch := p.OriginalSchedule()
+	params := p.ParamValues()
+	// s1(0) < s2(0) < s1(1).
+	t10 := sch.TimeOf(s1, []int64{0}, params)
+	t20 := sch.TimeOf(s2, []int64{0}, params)
+	t11 := sch.TimeOf(s1, []int64{1}, params)
+	if !LexLess(t10, t20) || !LexLess(t20, t11) {
+		t.Fatalf("interleaving broken: %v %v %v", t10, t20, t11)
+	}
+}
+
+func TestLexCompare(t *testing.T) {
+	if LexCompare([]int64{1, 2}, []int64{1, 2}) != 0 {
+		t.Fatal("equal")
+	}
+	if LexCompare([]int64{1, 2}, []int64{1, 3}) != -1 {
+		t.Fatal("less")
+	}
+	if LexCompare([]int64{2, 0}, []int64{1, 9}) != 1 {
+		t.Fatal("greater")
+	}
+}
+
+func TestEvalRow(t *testing.T) {
+	// row over (x0,x1, p0, 1): 2*x0 - x1 + 3*p0 + 5
+	row := []int64{2, -1, 3, 5}
+	if got := EvalRow(row, []int64{4, 1}, []int64{2}); got != 2*4-1+3*2+5 {
+		t.Fatalf("EvalRow got %d", got)
+	}
+}
+
+func TestExprArithmetic(t *testing.T) {
+	e := V("i").Plus(V("j")).Minus(C(2)).AddK(1)
+	if e.Terms["i"] != 1 || e.Terms["j"] != 1 || e.K != -1 {
+		t.Fatalf("expr wrong: %+v", e)
+	}
+}
+
+func TestDoubleWritePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second write access should panic")
+		}
+	}()
+	p := New("bad", "n")
+	p.AddArray(&Array{Name: "A", BlockRows: 1, BlockCols: 1, GridRows: 1, GridCols: 1})
+	s := p.NewStatement("s", "i")
+	s.Access(Write, "A", V("i"), C(0))
+	s.Access(Write, "A", V("i"), C(1))
+}
+
+func TestParamBinding(t *testing.T) {
+	p := example1(3, 4, 2)
+	vals := p.ParamValues()
+	if vals[0] != 3 || vals[1] != 4 || vals[2] != 2 {
+		t.Fatalf("bindings wrong: %v", vals)
+	}
+}
+
+func TestScheduleStringFor(t *testing.T) {
+	p := example1(2, 2, 1)
+	sch := p.OriginalSchedule()
+	s := sch.StringFor(p)
+	if s == "" {
+		t.Fatal("StringFor should render")
+	}
+}
+
+func TestDomainWithContext(t *testing.T) {
+	p := example1(3, 4, 2)
+	d := p.DomainWithContext(p.Stmts[0])
+	// Point with n1=0 must be excluded by context (n1>=1).
+	if d.Contains([]int64{0, 0, 0, 4, 2}) {
+		t.Fatal("context should exclude n1=0")
+	}
+	if !d.Contains([]int64{0, 0, 1, 4, 2}) {
+		t.Fatal("valid point rejected")
+	}
+}

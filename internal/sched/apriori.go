@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"riotshare/internal/deps"
+	"riotshare/internal/prog"
+)
+
+// Plan is a legal schedule paired with the set of sharing opportunities it
+// was constructed to realize (the subset Q of Algorithm 2; code generation
+// exploits exactly this set even if the schedule accidentally realizes
+// more, §5.3).
+type Plan struct {
+	// Shares are indices into the analysis's Shares list.
+	Shares   []int
+	Schedule *prog.Schedule
+}
+
+// ShareSet returns the co-accesses this plan realizes.
+func (pl *Plan) ShareSet(an *deps.Analysis) []*deps.CoAccess {
+	out := make([]*deps.CoAccess, len(pl.Shares))
+	for i, idx := range pl.Shares {
+		out[i] = an.Shares[idx]
+	}
+	return out
+}
+
+// Label renders the plan's sharing set, e.g. "{s1WC→s2RC, s2WE→s2RE}".
+func (pl *Plan) Label(an *deps.Analysis) string {
+	if len(pl.Shares) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(pl.Shares))
+	for i, idx := range pl.Shares {
+		parts[i] = an.Shares[idx].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SearchOptions bounds the Apriori enumeration.
+type SearchOptions struct {
+	// MaxCalls caps FindSchedule invocations (0 = default 100000).
+	MaxCalls int
+	// NoPruning disables the Apriori property and tests every subset, for
+	// the ablation experiment.
+	NoPruning bool
+	// MaxLevel, when nonzero, caps the size of sharing-opportunity
+	// combinations considered — the paper's §6 suggestion for cutting
+	// optimization time on large programs ("localizing optimization" /
+	// terminating enumeration early). Plans realizing more than MaxLevel
+	// opportunities are then not discovered.
+	MaxLevel int
+}
+
+// Search is Algorithm 2: Apriori-style enumeration of sharing-opportunity
+// combinations. A k-subset is considered only if all its (k-1)-subsets were
+// feasible (Lemma 2); each candidate is tested with FindSchedule. It returns
+// one plan per feasible combination, including the empty combination (the
+// no-sharing baseline plan).
+func (s *Searcher) Search(opt SearchOptions) ([]Plan, error) {
+	maxCalls := opt.MaxCalls
+	if maxCalls == 0 {
+		maxCalls = 100000
+	}
+	budget := func() error {
+		if s.Stats.FindScheduleCalls > maxCalls {
+			return errf("search exceeded %d FindSchedule calls", maxCalls)
+		}
+		return nil
+	}
+
+	base, ok := s.FindSchedule(nil)
+	if !ok {
+		return nil, errf("no legal schedule exists even without sharing (program %q)", s.Prog.Name)
+	}
+	plans := []Plan{{Shares: nil, Schedule: base}}
+
+	n := len(s.An.Shares)
+	if n == 0 {
+		return plans, nil
+	}
+
+	if opt.NoPruning {
+		return s.searchNoPruning(plans, n, maxCalls)
+	}
+
+	// Level 1.
+	feasible := make(map[string][]int) // key -> subset
+	var level [][]int
+	for i := 0; i < n; i++ {
+		if err := budget(); err != nil {
+			return nil, err
+		}
+		q := []int{i}
+		if sch, ok := s.FindSchedule(s.coAccesses(q)); ok {
+			level = append(level, q)
+			feasible[subsetKey(q)] = q
+			plans = append(plans, Plan{Shares: q, Schedule: sch})
+		}
+	}
+	// Levels k >= 2 (lines 4-9).
+	maxLevel := n
+	if opt.MaxLevel > 0 && opt.MaxLevel < n {
+		maxLevel = opt.MaxLevel
+	}
+	for k := 2; len(level) > 0 && k <= maxLevel; k++ {
+		var next [][]int
+		seen := make(map[string]bool)
+		for _, a := range level {
+			last := a[len(a)-1]
+			for b := last + 1; b < n; b++ {
+				cand := append(append([]int(nil), a...), b)
+				key := subsetKey(cand)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				// Apriori property: all (k-1)-subsets must be feasible.
+				allFeasible := true
+				for drop := 0; drop < len(cand); drop++ {
+					sub := append(append([]int(nil), cand[:drop]...), cand[drop+1:]...)
+					if _, ok := feasible[subsetKey(sub)]; !ok {
+						allFeasible = false
+						break
+					}
+				}
+				if !allFeasible {
+					continue
+				}
+				if err := budget(); err != nil {
+					return nil, err
+				}
+				if sch, ok := s.FindSchedule(s.coAccesses(cand)); ok {
+					next = append(next, cand)
+					feasible[subsetKey(cand)] = cand
+					plans = append(plans, Plan{Shares: cand, Schedule: sch})
+				}
+			}
+		}
+		level = next
+	}
+	return plans, nil
+}
+
+// searchNoPruning tests the full power set (ablation baseline).
+func (s *Searcher) searchNoPruning(plans []Plan, n, maxCalls int) ([]Plan, error) {
+	for mask := 1; mask < 1<<n; mask++ {
+		if s.Stats.FindScheduleCalls > maxCalls {
+			return nil, errf("unpruned search exceeded %d FindSchedule calls", maxCalls)
+		}
+		var q []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				q = append(q, i)
+			}
+		}
+		if sch, ok := s.FindSchedule(s.coAccesses(q)); ok {
+			plans = append(plans, Plan{Shares: q, Schedule: sch})
+		}
+	}
+	return plans, nil
+}
+
+func (s *Searcher) coAccesses(q []int) []*deps.CoAccess {
+	out := make([]*deps.CoAccess, len(q))
+	for i, idx := range q {
+		out[i] = s.An.Shares[idx]
+	}
+	return out
+}
+
+func subsetKey(q []int) string {
+	c := append([]int(nil), q...)
+	sort.Ints(c)
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}

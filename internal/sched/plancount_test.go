@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"riotshare/internal/deps"
+	"riotshare/internal/ops"
+)
+
+// TestPlanCountsPaperConfigs reproduces the search-space statistics of §6
+// on the paper's three programs; the linear-regression search explores
+// ~16k combinations and takes about a minute, so it is skipped in -short.
+func TestPlanCountsPaperConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper-config search skipped in -short mode")
+	}
+	// Example 1 paper config: 12x12 blocks, n3=1.
+	an := addMulAnalysis(t, 12, 12, 1, true)
+	s := NewSearcher(an)
+	t0 := time.Now()
+	plans, err := s.Search(SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("addmul n3=1: %d opportunities %v -> %d plans in %v (%d calls)",
+		len(an.Shares), an.ShareStrings(), len(plans), time.Since(t0), s.Stats.FindScheduleCalls)
+
+	// TwoMM config A: 6x6 etc.
+	p2 := ops.TwoMM(ops.TwoMMConfig{N1: 6, N2: 10, N3: 6, N4: 10,
+		ABlock: ops.Dims{Rows: 4, Cols: 4}, BBlock: ops.Dims{Rows: 4, Cols: 4}, DBlock: ops.Dims{Rows: 4, Cols: 4}})
+	an2, err := deps.Analyze(p2, deps.Options{BindParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSearcher(an2)
+	t0 = time.Now()
+	plans2, err := s2.Search(SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("twomm: %d opportunities -> %d plans (paper: 40) in %v (%d calls)",
+		len(an2.Shares), len(plans2), time.Since(t0), s2.Stats.FindScheduleCalls)
+
+	// LinReg.
+	p3 := ops.LinReg(ops.LinRegConfig{N: 25, XBlock: ops.Dims{Rows: 60, Cols: 40}, YBlock: ops.Dims{Rows: 60, Cols: 4}})
+	an3, err := deps.Analyze(p3, deps.Options{BindParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewSearcher(an3)
+	t0 = time.Now()
+	plans3, err := s3.Search(SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("linreg: %d opportunities -> %d plans in %v (%d calls; paper: 2^16 space, 94%% pruned)",
+		len(an3.Shares), len(plans3), time.Since(t0), s3.Stats.FindScheduleCalls)
+}

@@ -1,0 +1,227 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"riotshare/internal/blas"
+	"riotshare/internal/prog"
+)
+
+// BlockStore is the per-array key→payload store shared by the DAF and
+// LAB-tree formats.
+type BlockStore interface {
+	Write(idx uint64, data []byte) error
+	Read(idx uint64) ([]byte, error)
+	Sync() error
+	Close() error
+}
+
+// DAF is the Directly Addressable File format: block idx lives at byte
+// offset idx*blockBytes. Since every element of a dense matrix has a
+// predetermined position, no index needs to be stored (§6's storage
+// scheme).
+type DAF struct {
+	f          *os.File
+	blockBytes int64
+}
+
+// OpenDAF opens or creates a DAF with fixed block payload size.
+func OpenDAF(path string, blockBytes int64) (*DAF, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &DAF{f: f, blockBytes: blockBytes}, nil
+}
+
+// Write stores a block payload (must be exactly blockBytes long).
+func (d *DAF) Write(idx uint64, data []byte) error {
+	if int64(len(data)) != d.blockBytes {
+		return fmt.Errorf("storage: DAF block size %d, want %d", len(data), d.blockBytes)
+	}
+	_, err := d.f.WriteAt(data, int64(idx)*d.blockBytes)
+	return err
+}
+
+// Read fetches a block payload.
+func (d *DAF) Read(idx uint64) ([]byte, error) {
+	buf := make([]byte, d.blockBytes)
+	n, err := d.f.ReadAt(buf, int64(idx)*d.blockBytes)
+	if err != nil && n != len(buf) {
+		return nil, fmt.Errorf("storage: DAF read block %d: %w", idx, err)
+	}
+	return buf, nil
+}
+
+// Sync flushes the file.
+func (d *DAF) Sync() error { return d.f.Sync() }
+
+// Close closes the file.
+func (d *DAF) Close() error { return d.f.Close() }
+
+// labStore adapts LABTree to BlockStore.
+type labStore struct{ *LABTree }
+
+// Format selects the on-disk format.
+type Format int
+
+const (
+	// FormatDAF is the directly addressable file.
+	FormatDAF Format = iota
+	// FormatLABTree is the linearized array B-tree.
+	FormatLABTree
+)
+
+// String names the format.
+func (f Format) String() string {
+	if f == FormatLABTree {
+		return "lab-tree"
+	}
+	return "daf"
+}
+
+// Linearization maps block coordinates to a key. Blocks are laid out in
+// column-major order by default, matching §6's storage scheme.
+type Linearization func(r, c int64, gridRows, gridCols int) uint64
+
+// ColMajor is the paper's column-major block layout.
+func ColMajor(r, c int64, gridRows, gridCols int) uint64 {
+	return uint64(c)*uint64(gridRows) + uint64(r)
+}
+
+// RowMajor linearizes row-major.
+func RowMajor(r, c int64, gridRows, gridCols int) uint64 {
+	return uint64(r)*uint64(gridCols) + uint64(c)
+}
+
+// ZOrder interleaves coordinate bits (Morton order), an alternative
+// studied for array storage locality.
+func ZOrder(r, c int64, gridRows, gridCols int) uint64 {
+	var z uint64
+	for b := 0; b < 32; b++ {
+		z |= (uint64(r) >> b & 1) << (2 * b)
+		z |= (uint64(c) >> b & 1) << (2*b + 1)
+	}
+	return z
+}
+
+// Manager stores the blocks of a program's arrays in one store per array.
+type Manager struct {
+	Dir       string
+	Format    Format
+	Policy    SplitPolicy
+	Linearize Linearization
+
+	stores map[string]BlockStore
+	arrays map[string]*prog.Array
+}
+
+// NewManager creates a storage manager writing under dir.
+func NewManager(dir string, format Format) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		Dir:       dir,
+		Format:    format,
+		Linearize: ColMajor,
+		stores:    make(map[string]BlockStore),
+		arrays:    make(map[string]*prog.Array),
+	}, nil
+}
+
+// Create opens the store for an array.
+func (m *Manager) Create(arr *prog.Array) error {
+	if _, dup := m.stores[arr.Name]; dup {
+		return fmt.Errorf("storage: array %q already created", arr.Name)
+	}
+	path := filepath.Join(m.Dir, arr.Name+"."+m.Format.String())
+	var (
+		st  BlockStore
+		err error
+	)
+	switch m.Format {
+	case FormatLABTree:
+		var t *LABTree
+		t, err = OpenLABTree(path, m.Policy)
+		st = labStore{t}
+	default:
+		st, err = OpenDAF(path, arr.PhysicalBlockBytes())
+	}
+	if err != nil {
+		return err
+	}
+	m.stores[arr.Name] = st
+	m.arrays[arr.Name] = arr
+	return nil
+}
+
+// CreateAll opens stores for every array of a program.
+func (m *Manager) CreateAll(p *prog.Program) error {
+	for _, arr := range p.Arrays {
+		if err := m.Create(arr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBlock serializes and stores one block.
+func (m *Manager) WriteBlock(array string, r, c int64, blk *blas.Matrix) error {
+	arr, st, err := m.lookup(array)
+	if err != nil {
+		return err
+	}
+	if blk.Rows != arr.BlockRows || blk.Cols != arr.BlockCols {
+		return fmt.Errorf("storage: block shape %dx%d, array %s wants %dx%d",
+			blk.Rows, blk.Cols, array, arr.BlockRows, arr.BlockCols)
+	}
+	buf := make([]byte, 8*len(blk.Data))
+	for i, v := range blk.Data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return st.Write(m.Linearize(r, c, arr.GridRows, arr.GridCols), buf)
+}
+
+// ReadBlock fetches and deserializes one block.
+func (m *Manager) ReadBlock(array string, r, c int64) (*blas.Matrix, error) {
+	arr, st, err := m.lookup(array)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := st.Read(m.Linearize(r, c, arr.GridRows, arr.GridCols))
+	if err != nil {
+		return nil, fmt.Errorf("storage: read %s[%d,%d]: %w", array, r, c, err)
+	}
+	blk := blas.NewMatrix(arr.BlockRows, arr.BlockCols)
+	if want := 8 * len(blk.Data); len(buf) != want {
+		return nil, fmt.Errorf("storage: %s[%d,%d] payload %d bytes, want %d", array, r, c, len(buf), want)
+	}
+	for i := range blk.Data {
+		blk.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return blk, nil
+}
+
+func (m *Manager) lookup(array string) (*prog.Array, BlockStore, error) {
+	arr, ok := m.arrays[array]
+	if !ok {
+		return nil, nil, fmt.Errorf("storage: unknown array %q", array)
+	}
+	return arr, m.stores[array], nil
+}
+
+// Close closes every store.
+func (m *Manager) Close() error {
+	var first error
+	for _, st := range m.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,195 @@
+// Package riotshare is a Go implementation of RIOTShare, the I/O-sharing
+// optimizer for big array analytics of Zhang and Yang, "Optimizing I/O for
+// Big Array Analytics", PVLDB 5(8), 2012.
+//
+// RIOTShare takes a static-control program over disk-resident array blocks
+// (matrix pipelines, linear regression, scans and joins over blocked
+// relations, or user-defined loop nests), extracts data dependences and I/O
+// sharing opportunities as integer polyhedra, searches the space of affine
+// schedules with an Apriori-style enumeration, costs every legal plan (I/O
+// volume and peak memory), and executes the chosen plan through a
+// sharing-aware buffer manager over a block storage engine (DAF or
+// LAB-tree formats).
+//
+// Typical use:
+//
+//	p := riotshare.AddMul(riotshare.AddMulConfig{
+//	    N1: 12, N2: 12, N3: 1,
+//	    ABBlock: riotshare.Dims{Rows: 6000, Cols: 4000},
+//	    DBlock:  riotshare.Dims{Rows: 4000, Cols: 5000},
+//	})
+//	res, err := riotshare.Optimize(p, riotshare.Options{
+//	    BindParams:  true,
+//	    MemCapBytes: 1 << 30,
+//	})
+//	// res.Best is the cheapest legal plan fitting the cap; execute it:
+//	store, _ := riotshare.NewStorage(dir, riotshare.FormatDAF)
+//	store.CreateAll(p)
+//	result, err := riotshare.Execute(res.Best, store, riotshare.PaperDiskModel(), 0)
+//
+// Programs can also be assembled operator by operator (MatAdd, MatMulAcc,
+// MatInv, MatSub, RSS, Scan, NLJoin) or statement by statement through
+// NewProgram and the Statement builder, which is the path for user-defined
+// operators: the optimizer reasons about any static-control loop nest, not
+// a fixed operator list (§2 of the paper).
+package riotshare
+
+import (
+	"riotshare/internal/codegen"
+	"riotshare/internal/core"
+	"riotshare/internal/deps"
+	"riotshare/internal/disk"
+	"riotshare/internal/exec"
+	"riotshare/internal/ops"
+	"riotshare/internal/prog"
+	"riotshare/internal/storage"
+)
+
+// Program is a static-control program over blocked arrays (§4.1).
+type Program = prog.Program
+
+// Statement is one statement of a program with its iteration domain.
+type Statement = prog.Statement
+
+// Array describes a disk-resident blocked array.
+type Array = prog.Array
+
+// Expr is an affine expression used by the statement builder.
+type Expr = prog.Expr
+
+// Cond is an affine access guard.
+type Cond = prog.Cond
+
+// AccessType distinguishes reads from writes.
+type AccessType = prog.AccessType
+
+// Read and Write are the access types.
+const (
+	Read  = prog.Read
+	Write = prog.Write
+)
+
+// NewProgram creates a program with the given global parameters (each
+// constrained >= 1).
+func NewProgram(name string, params ...string) *Program { return prog.New(name, params...) }
+
+// V, C, GE and EQ build affine expressions and guards for the statement
+// builder.
+var (
+	V  = prog.V
+	C  = prog.C
+	GE = prog.GE
+	EQ = prog.EQ
+)
+
+// Schedule maps statement instances to multidimensional time.
+type Schedule = prog.Schedule
+
+// Dims is a block shape in elements.
+type Dims = ops.Dims
+
+// Mat describes one matrix of a program.
+type Mat = ops.Mat
+
+// Operator-library builders (each appends one statement as a new loop
+// nest).
+var (
+	MatAdd    = ops.MatAdd
+	MatMulAcc = ops.MatMulAcc
+	MatSub    = ops.MatSub
+	MatInv    = ops.MatInv
+	RSS       = ops.RSS
+	Scan      = ops.Scan
+	NLJoin    = ops.NLJoin
+)
+
+// AddMulConfig, TwoMMConfig and LinRegConfig size the paper's three
+// benchmark programs.
+type (
+	AddMulConfig = ops.AddMulConfig
+	TwoMMConfig  = ops.TwoMMConfig
+	LinRegConfig = ops.LinRegConfig
+)
+
+// AddMul builds Example 1 (C = A+B; E = C·D).
+func AddMul(cfg AddMulConfig) *Program { return ops.AddMul(cfg) }
+
+// TwoMM builds the two-multiplication program (C = A·B; E = A·D).
+func TwoMM(cfg TwoMMConfig) *Program { return ops.TwoMM(cfg) }
+
+// LinReg builds the seven-step ordinary-least-squares program.
+func LinReg(cfg LinRegConfig) *Program { return ops.LinReg(cfg) }
+
+// Options configures optimization.
+type Options = core.Options
+
+// Result is the optimizer output: all legal plans, costed and sorted.
+type Result = core.Result
+
+// EvaluatedPlan is one legal plan with its cost and executable timeline.
+type EvaluatedPlan = core.EvaluatedPlan
+
+// Analysis exposes the extracted dependences and sharing opportunities.
+type Analysis = deps.Analysis
+
+// CoAccess is a dependence or sharing opportunity with its extent
+// polyhedron.
+type CoAccess = deps.CoAccess
+
+// Timeline is a lowered, executable plan.
+type Timeline = codegen.Timeline
+
+// Optimize runs analysis, plan search, and costing (Figure 2 of the paper).
+func Optimize(p *Program, opt Options) (*Result, error) { return core.Optimize(p, opt) }
+
+// OptimizeSubsets evaluates only the named sharing-opportunity
+// combinations, skipping the full enumeration.
+func OptimizeSubsets(p *Program, opt Options, subsets [][]string) (*Result, error) {
+	return core.OptimizeSubsets(p, opt, subsets)
+}
+
+// OptimizeBlockSize co-optimizes array block sizes with I/O sharing (the
+// §7 future-work extension).
+var OptimizeBlockSize = core.OptimizeBlockSize
+
+// DiskModel converts I/O volumes to estimated seconds.
+type DiskModel = disk.Model
+
+// PaperDiskModel returns the sustained rates benchmarked in §6 (96 MB/s
+// reads, 60 MB/s writes).
+func PaperDiskModel() DiskModel { return disk.PaperModel() }
+
+// RefinedDiskModel adds a per-request overhead to the linear model.
+func RefinedDiskModel(overheadSec float64) DiskModel { return disk.RefinedModel(overheadSec) }
+
+// Storage is the RIOTStore block store manager.
+type Storage = storage.Manager
+
+// StorageFormat selects the on-disk format.
+type StorageFormat = storage.Format
+
+// Storage formats: the directly addressable file and the linearized array
+// B-tree.
+const (
+	FormatDAF     = storage.FormatDAF
+	FormatLABTree = storage.FormatLABTree
+)
+
+// NewStorage creates a storage manager writing under dir.
+func NewStorage(dir string, format StorageFormat) (*Storage, error) {
+	return storage.NewManager(dir, format)
+}
+
+// ExecResult reports a physical plan execution.
+type ExecResult = exec.Result
+
+// Execute runs an evaluated plan against storage with the given disk model
+// and optional memory cap (bytes; 0 = unlimited). Input arrays must already
+// be stored; output and intermediate blocks are produced by the run.
+func Execute(pl *EvaluatedPlan, store *Storage, model DiskModel, memCapBytes int64) (ExecResult, error) {
+	eng := &exec.Engine{Store: store, Model: model, MemCapBytes: memCapBytes}
+	return eng.Run(pl.Timeline)
+}
+
+// Pseudocode renders a plan's recovered loop nest (§5.5-style output).
+func Pseudocode(pl *EvaluatedPlan) string { return pl.Timeline.Pseudocode() }
