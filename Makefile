@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml: `make lint test` is what CI runs.
+
+GO ?= go
+
+.PHONY: build test test-race test-full bench lint fmt
+
+build:
+	$(GO) build ./...
+
+# The short suite is what CI gates on (<5 minutes).
+test:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race -short ./...
+
+# Full suite, including the ~80s linear-regression plan-space search.
+test-full:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .

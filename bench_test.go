@@ -1,8 +1,10 @@
 package riotshare_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"riotshare"
 	"riotshare/internal/bench"
@@ -222,6 +224,71 @@ func BenchmarkStorageFormats(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkParallelExec compares the sequential interpreter against the
+// pipelined parallel engine on the two-multiplication workload (C = A·B;
+// E = A·D) in two regimes. "io-bound" simulates the paper's slow device
+// with a per-request latency, the regime RIOTShare targets: the prefetcher
+// overlaps block reads with compute and with each other, so wall clock
+// drops sharply with workers while logical I/O volumes stay identical.
+// "cpu-bound" uses raw local storage, where speedup instead tracks the
+// machine's core count (kernels run concurrently across workers).
+func BenchmarkParallelExec(b *testing.B) {
+	p := riotshare.TwoMM(riotshare.TwoMMConfig{
+		N1: 4, N2: 4, N3: 4, N4: 4,
+		ABlock: riotshare.Dims{Rows: 64, Cols: 64},
+		BBlock: riotshare.Dims{Rows: 64, Cols: 64},
+		DBlock: riotshare.Dims{Rows: 64, Cols: 64},
+	})
+	res, err := riotshare.Optimize(p, riotshare.Options{BindParams: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := res.Best
+	model := riotshare.PaperDiskModel()
+	for _, regime := range []struct {
+		name    string
+		latency time.Duration
+	}{
+		{"io-bound", 2 * time.Millisecond},
+		{"cpu-bound", 0},
+	} {
+		store, err := riotshare.NewStorage(b.TempDir(), riotshare.FormatDAF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.ReadLatency = regime.latency
+		store.WriteLatency = regime.latency
+		if err := store.CreateAll(p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.FillInputs(p, store, 1); err != nil {
+			b.Fatal(err)
+		}
+		var seq riotshare.ExecResult
+		for _, workers := range []int{1, 2, 4} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/workers=%d", regime.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r, err := riotshare.ExecuteOptions(pl, store, model, 0,
+						riotshare.ExecOptions{Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if workers == 1 {
+						seq = r
+					} else if seq.ReadBytes > 0 &&
+						(r.ReadBytes != seq.ReadBytes || r.WriteBytes != seq.WriteBytes ||
+							r.ReadReqs != seq.ReadReqs || r.WriteReqs != seq.WriteReqs ||
+							r.PeakMemoryBytes != seq.PeakMemoryBytes) {
+						b.Fatalf("workers=%d: logical accounting diverged from sequential", workers)
+					}
+				}
+			})
+		}
+		store.Close()
 	}
 }
 

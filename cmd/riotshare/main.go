@@ -53,6 +53,8 @@ func run() error {
 	planIdx := fs.Int("plan", -1, "plan index for run (-1 = best)")
 	full := fs.Bool("full", false, "full plan-space search (slow for linreg)")
 	asJSON := fs.Bool("json", false, "emit the lowered plan as JSON (codegen subcommand)")
+	workers := fs.Int("workers", 1, "parallel kernel workers for run (1 = sequential engine)")
+	prefetch := fs.Int("prefetch", 0, "I/O prefetch window in blocks (0 = 2x workers)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return err
 	}
@@ -152,16 +154,22 @@ func run() error {
 		if _, err := bench.FillInputs(p, store, 1); err != nil {
 			return err
 		}
-		r, err := riotshare.Execute(pl, store, riotshare.PaperDiskModel(), *memMB<<20)
+		model := riotshare.PaperDiskModel()
+		r, err := riotshare.ExecuteOptions(pl, store, model, *memMB<<20,
+			riotshare.ExecOptions{Workers: *workers, PrefetchDepth: *prefetch})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("plan %d %s\n", pl.Index, pl.Label)
+		fmt.Printf("plan %d %s (workers=%d)\n", pl.Index, pl.Label, *workers)
 		fmt.Printf("predicted I/O: %.0fs  measured (simulated) I/O: %.0fs\n", pl.Cost.IOTimeSec, r.SimulatedIOSec)
 		fmt.Printf("read %.1fGB in %d requests, wrote %.1fGB in %d requests\n",
 			float64(r.ReadBytes)/(1<<30), r.ReadReqs, float64(r.WriteBytes)/(1<<30), r.WriteReqs)
 		fmt.Printf("peak memory %.0fMB, kernel CPU %v\n",
 			float64(r.PeakMemoryBytes)/(1<<20), r.CPUTime)
+		if *workers > 1 {
+			fmt.Printf("pipelined wall-clock estimate (I/O overlapped with compute): %.0fs\n",
+				model.PipelinedTime(r.ReadBytes, r.WriteBytes, r.ReadReqs, r.WriteReqs, r.CPUTime.Seconds()))
+		}
 		return nil
 
 	default:

@@ -24,8 +24,10 @@ func main() {
 
 	// s1: Win[i] = Src[i] + Src[i+1] — a custom sliding-window operator.
 	p.NewNest()
+	// i ranges over [0, n): every Win block the scan and join read below
+	// must be produced here (Range's upper bound is exclusive).
 	s1 := p.NewStatement("s1", "i")
-	s1.Range("i", riotshare.C(0), riotshare.V("n").AddK(-1))
+	s1.Range("i", riotshare.C(0), riotshare.V("n"))
 	s1.Access(riotshare.Read, "Src", riotshare.V("i"), riotshare.C(0))
 	s1.Access(riotshare.Read, "Src", riotshare.V("i").AddK(1), riotshare.C(0))
 	s1.Access(riotshare.Write, "Win", riotshare.V("i"), riotshare.C(0))

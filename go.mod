@@ -1,0 +1,3 @@
+module riotshare
+
+go 1.21

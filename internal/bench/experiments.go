@@ -28,6 +28,11 @@ type Options struct {
 	DataDir string
 	// Seed for synthetic input data.
 	Seed int64
+	// Workers and PrefetchDepth select the pipelined parallel engine for
+	// physical runs (Workers <= 1 keeps the sequential interpreter);
+	// measured logical volumes are identical either way.
+	Workers       int
+	PrefetchDepth int
 }
 
 func (o Options) dir() (string, func(), error) {
@@ -93,7 +98,7 @@ func FillInputs(p *prog.Program, m *storage.Manager, seed int64) (map[string]*bl
 
 // runPhysical executes a plan against real storage and returns the
 // measured result (volumes are logical, paper scale).
-func runPhysical(p *prog.Program, pl *core.EvaluatedPlan, dir string, seed int64) (exec.Result, error) {
+func runPhysical(p *prog.Program, pl *core.EvaluatedPlan, dir string, opt Options) (exec.Result, error) {
 	sub, err := os.MkdirTemp(dir, "plan-*")
 	if err != nil {
 		return exec.Result{}, err
@@ -107,11 +112,11 @@ func runPhysical(p *prog.Program, pl *core.EvaluatedPlan, dir string, seed int64
 	if err := m.CreateAll(p); err != nil {
 		return exec.Result{}, err
 	}
-	if _, err := FillInputs(p, m, seed); err != nil {
+	if _, err := FillInputs(p, m, opt.Seed); err != nil {
 		return exec.Result{}, err
 	}
 	eng := &exec.Engine{Store: m, Model: actualModel()}
-	return eng.Run(pl.Timeline)
+	return eng.RunOptions(pl.Timeline, exec.Options{Workers: opt.Workers, PrefetchDepth: opt.PrefetchDepth})
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }
@@ -201,16 +206,16 @@ func Fig3b(w io.Writer, opt Options) error {
 	}
 	defer cleanup()
 	fmt.Fprintln(w, "Figure 3(b): add+mul predicted vs actual")
-	return predictedVsActual(w, AddMulPaper(), res.Plans, dir, opt.Seed)
+	return predictedVsActual(w, AddMulPaper(), res.Plans, dir, opt)
 }
 
-func predictedVsActual(w io.Writer, p *prog.Program, plans []core.EvaluatedPlan, dir string, seed int64) error {
+func predictedVsActual(w io.Writer, p *prog.Program, plans []core.EvaluatedPlan, dir string, opt Options) error {
 	fmt.Fprintf(w, "%-5s %-14s %-12s %-10s %-10s %s\n",
 		"plan", "predicted(s)", "actual(s)", "err(%)", "cpu(ms)", "sharing set")
 	var errSum float64
 	for i := range plans {
 		pl := &plans[i]
-		r, err := runPhysical(p, pl, dir, seed)
+		r, err := runPhysical(p, pl, dir, opt)
 		if err != nil {
 			return fmt.Errorf("plan %s: %w", pl.Label, err)
 		}
@@ -261,7 +266,7 @@ func twoMMFig(w io.Writer, opt Options, title string, mk func() *prog.Program) e
 	}
 	defer cleanup()
 	fmt.Fprintf(w, "%s: selected plans (0 = no sharing; 1 = accumulate C,E; 2 = 1 + share A; 3 = share A,B,D)\n", title)
-	return predictedVsActual(w, mk(), sel.Plans, dir, opt.Seed)
+	return predictedVsActual(w, mk(), sel.Plans, dir, opt)
 }
 
 // Fig6 reproduces §6.3 (Figure 6): the linear-regression plan space (full
@@ -292,7 +297,7 @@ func Fig6(w io.Writer, opt Options) error {
 	}
 	defer cleanup()
 	fmt.Fprintln(w, "Figure 6(b): selected plans (0 = no sharing; 1 = keep U,V in memory; 2 = best: share X reads + pipeline intermediates)")
-	return predictedVsActual(w, LinRegPaper(), sel.Plans, dir, opt.Seed)
+	return predictedVsActual(w, LinRegPaper(), sel.Plans, dir, opt)
 }
 
 // OptTime reproduces §6's "A Note on Optimization Time": wall-clock

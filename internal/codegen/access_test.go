@@ -1,0 +1,124 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"riotshare/internal/codegen"
+	"riotshare/internal/core"
+	"riotshare/internal/ops"
+)
+
+func addMulPlans(t *testing.T) *core.Result {
+	t.Helper()
+	p := ops.AddMul(ops.AddMulConfig{
+		N1: 3, N2: 4, N3: 2,
+		ABBlock: ops.Dims{Rows: 6, Cols: 5},
+		DBlock:  ops.Dims{Rows: 5, Cols: 4},
+	})
+	res, err := core.Optimize(p, core.Options{BindParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// AccessSets must mirror the timeline's actions: one entry per active
+// access, in access order, with the block coordinates the executor would
+// compute itself.
+func TestAccessSetsMirrorActions(t *testing.T) {
+	res := addMulPlans(t)
+	for _, pl := range res.Plans {
+		tl := pl.Timeline
+		sets := tl.AccessSets()
+		if len(sets) != len(tl.Events) {
+			t.Fatalf("plan %s: %d access sets for %d events", pl.Label, len(sets), len(tl.Events))
+		}
+		for i, ev := range tl.Events {
+			active := 0
+			for ai := range ev.St.Accesses {
+				if tl.Actions[i][ai] != codegen.Inactive {
+					active++
+				}
+			}
+			if len(sets[i]) != active {
+				t.Fatalf("plan %s event %d: %d accesses, want %d", pl.Label, i, len(sets[i]), active)
+			}
+			prevAcc := -1
+			for _, ba := range sets[i] {
+				if ba.Acc <= prevAcc {
+					t.Fatalf("plan %s event %d: access order not preserved", pl.Label, i)
+				}
+				prevAcc = ba.Acc
+				ac := &ev.St.Accesses[ba.Acc]
+				r, c := ac.BlockAt(ev.X, tl.Params)
+				if ba.Array != ac.Array || ba.R != r || ba.C != c ||
+					ba.Key != codegen.BlockKey(ac.Array, r, c) ||
+					ba.Type != ac.Type || ba.Action != tl.Actions[i][ba.Acc] {
+					t.Fatalf("plan %s event %d: access %+v does not match statement access", pl.Label, i, ba)
+				}
+			}
+		}
+	}
+}
+
+// HoldIntervals must cover every hold, stay within the timeline, and keep
+// intervals of the same block disjoint and ordered.
+func TestHoldIntervalsMergeAndCover(t *testing.T) {
+	res := addMulPlans(t)
+	sawHolds := false
+	for _, pl := range res.Plans {
+		tl := pl.Timeline
+		ivs := tl.HoldIntervals()
+		if len(tl.Holds) > 0 {
+			sawHolds = true
+		}
+		for _, h := range tl.Holds {
+			key := codegen.BlockKey(h.Array, h.R, h.C)
+			covered := false
+			for _, iv := range ivs {
+				if iv.Key == key && iv.Start <= h.StartEvent && h.EndEvent <= iv.End {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("plan %s: hold %+v not covered by any interval", pl.Label, h)
+			}
+		}
+		last := map[string]int{}
+		for _, iv := range ivs {
+			if iv.Start < 0 || iv.End >= len(tl.Events) || iv.Start > iv.End {
+				t.Fatalf("plan %s: interval %+v out of range", pl.Label, iv)
+			}
+			if prev, ok := last[iv.Key]; ok && iv.Start <= prev {
+				t.Fatalf("plan %s: intervals of %s overlap or unsorted", pl.Label, iv.Key)
+			}
+			last[iv.Key] = iv.End
+		}
+	}
+	if !sawHolds {
+		t.Fatal("expected at least one plan with holds")
+	}
+}
+
+// An interval's start event must touch its block (it is the event that
+// buffers it) — the invariant the parallel engine's producer edges rely on.
+func TestHoldIntervalStartAccessesBlock(t *testing.T) {
+	res := addMulPlans(t)
+	for _, pl := range res.Plans {
+		tl := pl.Timeline
+		sets := tl.AccessSets()
+		for _, iv := range tl.HoldIntervals() {
+			found := false
+			for _, ba := range sets[iv.Start] {
+				if ba.Key == iv.Key {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("plan %s: interval %+v start event does not access the block", pl.Label, iv)
+			}
+		}
+	}
+}

@@ -41,6 +41,50 @@ func (m Model) Time(readBytes, writeBytes int64, readReqs, writeReqs int64) floa
 	return t
 }
 
+// Stream is one concurrent request stream against the device: a worker's
+// or the prefetcher's sequence of block requests. The device is still one
+// spindle, so streams share its sustained bandwidth rather than multiply
+// it; what concurrency buys is overlap with compute, not more bytes per
+// second.
+type Stream struct {
+	ReadBytes, WriteBytes int64
+	ReadReqs, WriteReqs   int64
+}
+
+// Add folds another stream's volumes into s.
+func (s *Stream) Add(o Stream) {
+	s.ReadBytes += o.ReadBytes
+	s.WriteBytes += o.WriteBytes
+	s.ReadReqs += o.ReadReqs
+	s.WriteReqs += o.WriteReqs
+}
+
+// ConcurrentTime models n streams issued concurrently: the device serves
+// their combined volume at the sustained rates (bandwidth is shared), and
+// interleaved request streams still pay the per-request overhead — the
+// linear model's device-time lower bound is insensitive to how requests
+// are distributed over issuers, which is why the executor's logical
+// accounting can stay interleaving-independent.
+func (m Model) ConcurrentTime(streams []Stream) float64 {
+	var total Stream
+	for _, s := range streams {
+		total.Add(s)
+	}
+	return m.Time(total.ReadBytes, total.WriteBytes, total.ReadReqs, total.WriteReqs)
+}
+
+// PipelinedTime estimates the wall time of an execution that overlaps the
+// device with compute: a pipelined engine hides the shorter of the two
+// behind the longer, so the ideal wall clock is their maximum rather than
+// their sum (the §5.4-style refinement the parallel executor targets).
+func (m Model) PipelinedTime(readBytes, writeBytes, readReqs, writeReqs int64, cpuSec float64) float64 {
+	io := m.Time(readBytes, writeBytes, readReqs, writeReqs)
+	if cpuSec > io {
+		return cpuSec
+	}
+	return io
+}
+
 // Counter accumulates I/O volumes and request counts; safe for concurrent
 // use.
 type Counter struct {

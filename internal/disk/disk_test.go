@@ -81,3 +81,37 @@ func TestCounterTime(t *testing.T) {
 		t.Fatalf("Counter.Time wrong: %v", got)
 	}
 }
+
+func TestConcurrentStreams(t *testing.T) {
+	m := RefinedModel(0.01)
+	streams := []Stream{
+		{ReadBytes: 96 * MB, ReadReqs: 2},
+		{ReadBytes: 96 * MB, WriteBytes: 60 * MB, ReadReqs: 1, WriteReqs: 1},
+		{WriteBytes: 120 * MB, WriteReqs: 3},
+	}
+	// Bandwidth is shared: concurrent streams take exactly the combined
+	// volume's time, matching one merged stream.
+	var total Stream
+	for _, s := range streams {
+		total.Add(s)
+	}
+	got := m.ConcurrentTime(streams)
+	want := m.Time(total.ReadBytes, total.WriteBytes, total.ReadReqs, total.WriteReqs)
+	if got != want {
+		t.Fatalf("ConcurrentTime = %g, want %g", got, want)
+	}
+	if want <= 0 {
+		t.Fatal("expected positive modeled time")
+	}
+}
+
+func TestPipelinedTimeOverlaps(t *testing.T) {
+	m := PaperModel()
+	io := m.Time(96*MB, 0, 1, 0) // 1 second of reads
+	if got := m.PipelinedTime(96*MB, 0, 1, 0, 0.25); got != io {
+		t.Fatalf("I/O-bound pipeline = %g, want %g", got, io)
+	}
+	if got := m.PipelinedTime(96*MB, 0, 1, 0, 4.0); got != 4.0 {
+		t.Fatalf("CPU-bound pipeline = %g, want 4.0", got)
+	}
+}

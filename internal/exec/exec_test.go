@@ -3,6 +3,7 @@ package exec
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"riotshare/internal/blas"
@@ -27,7 +28,15 @@ func fillInputs(t *testing.T, p *prog.Program, m *storage.Manager, seed int64) m
 	}
 	rng := rand.New(rand.NewSource(seed))
 	full := map[string]*blas.Matrix{}
-	for name, arr := range p.Arrays {
+	// Deterministic fill order so two fills with one seed agree (the
+	// parallel-vs-sequential property tests compare across fills).
+	names := make([]string, 0, len(p.Arrays))
+	for name := range p.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		arr := p.Arrays[name]
 		if written[name] {
 			continue
 		}

@@ -1,0 +1,738 @@
+// pipeline.go turns the sequential timeline interpreter into a pipelined
+// parallel engine. The timeline stays the single source of truth: a
+// dependence graph over its events — derived from per-event block access
+// sets (memory dataflow inside hold intervals, RAW/WAR/WAW on disk state)
+// — lets independent in-core kernels run on a worker pool while an
+// asynchronous prefetcher walks the timeline ahead of execution and issues
+// block reads early.
+//
+// Two invariants make the parallel engine a validation of the paper rather
+// than a departure from it:
+//
+//  1. Logical I/O accounting is byte-for-byte equal to the cost model's
+//     prediction regardless of worker count. Volumes are the plan's, not an
+//     artifact of interleaving, so Result is computed by replaying the
+//     timeline's actions with sequential semantics (accountRun) — exactly
+//     what Engine.Run measures — and the physical run only carries them
+//     out.
+//  2. Numerics are bit-identical to sequential execution. Every kernel
+//     consumes the same operand values in the same order: accumulator
+//     chains are serialized by write-write edges, shared buffers by
+//     producer→consumer edges, so floating-point summation order never
+//     changes.
+//
+// PeakMemoryBytes therefore reports the plan's logical working-set peak
+// (what the optimizer bounded with the memory cap, §4.2). The physical
+// resident set of a parallel run can transiently exceed it by the worker
+// pool's per-event operand blocks plus the prefetch window; the prefetch
+// window is bounded by the cap's spare headroom (cap − logical peak) and
+// never issues a read past an unexecuted write of the same block.
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"riotshare/internal/blas"
+	"riotshare/internal/codegen"
+	"riotshare/internal/prog"
+)
+
+// Options configures pipelined parallel execution.
+type Options struct {
+	// Workers is the number of concurrent kernel workers; values <= 1 run
+	// the sequential interpreter.
+	Workers int
+	// PrefetchDepth caps the number of prefetched-but-unconsumed blocks
+	// (<= 0 selects 2*Workers). A nonzero Engine.MemCapBytes additionally
+	// shrinks the window to the cap's headroom above the plan's peak.
+	PrefetchDepth int
+}
+
+// RunOptions executes the timeline with the given parallelism. Workers <= 1
+// is exactly Engine.Run; otherwise the pipelined engine runs and returns an
+// identical Result (modulo CPUTime, which is measured wall time inside
+// kernels either way).
+func (e *Engine) RunOptions(tl *codegen.Timeline, opt Options) (Result, error) {
+	if opt.Workers <= 1 {
+		return e.Run(tl)
+	}
+	return e.runParallel(tl, opt)
+}
+
+// accountRun replays the timeline's actions with sequential semantics and
+// returns the logical Result the sequential interpreter would measure:
+// I/O volumes and request counts summed over DoIO actions, and the peak
+// buffered working set under the hold bookkeeping — including the memory
+// cap check, which must fail for a plan the optimizer would have rejected.
+// It is a transliteration of Engine.Run minus the physical I/O and
+// kernels; the pipelined engine derives its accounting here so that worker
+// interleaving can never distort the paper-scale volumes.
+func accountRun(tl *codegen.Timeline, memCapBytes int64) (Result, error) {
+	var res Result
+	p := tl.Prog
+
+	holdsByStart := make(map[int][]codegen.Hold)
+	for _, h := range tl.Holds {
+		holdsByStart[h.StartEvent] = append(holdsByStart[h.StartEvent], h)
+	}
+	holdEnd := make(map[string]int)
+	bufBytesBy := make(map[string]int64) // buffered keys -> logical bytes
+	bufBytes := int64(0)
+
+	account := func(extra int64) error {
+		if bufBytes+extra > res.PeakMemoryBytes {
+			res.PeakMemoryBytes = bufBytes + extra
+		}
+		if memCapBytes > 0 && bufBytes+extra > memCapBytes {
+			return fmt.Errorf("exec: memory cap exceeded: %d > %d bytes", bufBytes+extra, memCapBytes)
+		}
+		return nil
+	}
+
+	for i, ev := range tl.Events {
+		st := ev.St
+		actions := tl.Actions[i]
+		for _, h := range holdsByStart[i] {
+			key := codegen.BlockKey(h.Array, h.R, h.C)
+			if h.EndEvent > holdEnd[key] {
+				holdEnd[key] = h.EndEvent
+			}
+		}
+
+		local := make(map[string]bool)
+		localBytes := int64(0)
+		var writeArr *prog.Array
+		var writeAction codegen.AccessAction
+		haveWrite := false
+
+		for ai := range st.Accesses {
+			ac := &st.Accesses[ai]
+			action := actions[ai]
+			if action == codegen.Inactive {
+				continue
+			}
+			arr := p.Arrays[ac.Array]
+			r, c := ac.BlockAt(ev.X, tl.Params)
+			key := codegen.BlockKey(ac.Array, r, c)
+			_, held := bufBytesBy[key]
+
+			if ac.Type == prog.Read {
+				if action == codegen.FromMemory && !held && !local[key] {
+					return res, fmt.Errorf("exec: %s%v expects %s in memory but it is not buffered",
+						st.Name, ev.X, key)
+				}
+				if action == codegen.DoIO {
+					res.ReadBytes += arr.LogicalBlockBytes
+					res.ReadReqs++
+				}
+				if !local[key] {
+					local[key] = true
+					if !held {
+						localBytes += arr.LogicalBlockBytes
+					}
+				}
+				continue
+			}
+			// Write access: the output block materializes in memory.
+			writeArr, writeAction, haveWrite = arr, action, true
+			if !held && !local[key] {
+				localBytes += arr.LogicalBlockBytes
+			}
+			local[key] = true
+		}
+		if err := account(localBytes); err != nil {
+			return res, err
+		}
+		if haveWrite && writeAction == codegen.DoIO {
+			res.WriteBytes += writeArr.LogicalBlockBytes
+			res.WriteReqs++
+		}
+
+		// Retain blocks with active holds; expire holds ending here.
+		for key := range local {
+			if end, heldNow := holdEnd[key]; heldNow && end > i {
+				if _, already := bufBytesBy[key]; !already {
+					b := keyLogicalBytes(p, key)
+					bufBytesBy[key] = b
+					bufBytes += b
+				}
+			}
+		}
+		for key, end := range holdEnd {
+			if end <= i {
+				if b, ok := bufBytesBy[key]; ok {
+					bufBytes -= b
+					delete(bufBytesBy, key)
+				}
+				delete(holdEnd, key)
+			}
+		}
+	}
+	return res, nil
+}
+
+// keyLogicalBytes resolves a block key's logical byte size via its array
+// name prefix (the key embeds the array name before '[').
+func keyLogicalBytes(p *prog.Program, key string) int64 {
+	for name, arr := range p.Arrays {
+		if len(key) > len(name) && key[:len(name)] == name && key[len(name)] == '[' {
+			return arr.LogicalBlockBytes
+		}
+	}
+	return 0
+}
+
+// ivState is one merged hold interval plus its runtime refcount: the
+// buffered block is released when every event that touches it inside the
+// interval has completed (the parallel form of "expire holds ending at
+// this event").
+type ivState struct {
+	iv   codegen.HoldInterval
+	refs int32
+}
+
+// pipeline is the static schedule the parallel engine executes: access
+// sets, the event dependence DAG, hold-interval coverage, and the prefetch
+// walk.
+type pipeline struct {
+	sets  [][]codegen.BlockAccess
+	succs [][]int
+	indeg []int32
+	// cover[i][key] is the merged hold interval covering event i for key
+	// (Start <= i <= End); nil map when event i covers nothing.
+	cover []map[string]*ivState
+	// release[i] lists intervals in which event i is an accessor.
+	release [][]*ivState
+	// prefetch is the ordered walk of coalesced prefetchable reads;
+	// consumers counts the DoIO reads each entry must serve.
+	prefetch  []pfReq
+	consumers map[string]int
+	maxBlock  int64 // largest prefetchable block, for the byte budget
+	// firstDiskWrite[key] is the earliest event writing the block to disk;
+	// reads at later events must bypass the prefetch cache (stale state).
+	firstDiskWrite map[string]int
+}
+
+// pfReq identifies one block the prefetcher should read ahead.
+type pfReq struct {
+	key   string
+	array string
+	r, c  int64
+}
+
+// buildPipeline derives the dependence DAG from the timeline's block
+// access sets. Three edge families preserve sequential semantics:
+//
+//   - memory dataflow inside each merged hold interval: the interval's
+//     start event produces the buffered block; readers depend on the
+//     latest producer, writers on the latest producer plus every reader
+//     since (so in-place accumulation never races a consumer);
+//   - buffer-slot reuse between consecutive intervals of the same block:
+//     the next interval's start waits for every accessor of the previous
+//     one, so release precedes re-insertion;
+//   - disk state per block: DoIO write → later DoIO reads (RAW), DoIO
+//     reads → next DoIO write (WAR), DoIO write → DoIO write (WAW).
+//
+// All edges point forward in timeline order, so the graph is a DAG.
+func buildPipeline(tl *codegen.Timeline) (*pipeline, error) {
+	n := len(tl.Events)
+	pp := &pipeline{
+		sets:      tl.AccessSets(),
+		succs:     make([][]int, n),
+		indeg:     make([]int32, n),
+		cover:     make([]map[string]*ivState, n),
+		release:   make([][]*ivState, n),
+		consumers: make(map[string]int),
+	}
+	seen := make(map[int64]bool)
+	addEdge := func(from, to int) error {
+		if from == to {
+			return nil // intra-event ordering is program order
+		}
+		if from > to {
+			return fmt.Errorf("exec: dependence edge %d->%d runs against the timeline", from, to)
+		}
+		id := int64(from)<<32 | int64(to)
+		if seen[id] {
+			return nil
+		}
+		seen[id] = true
+		pp.succs[from] = append(pp.succs[from], to)
+		pp.indeg[to]++
+		return nil
+	}
+
+	// Per-event key → (reads, writes) flags for interval accessor scans.
+	type rw struct{ read, write bool }
+	touch := make([]map[string]rw, n)
+	for i, set := range pp.sets {
+		touch[i] = make(map[string]rw, len(set))
+		for _, ba := range set {
+			t := touch[i][ba.Key]
+			if ba.Type == prog.Read {
+				t.read = true
+			} else {
+				t.write = true
+			}
+			touch[i][ba.Key] = t
+		}
+	}
+
+	// Memory dataflow within and between hold intervals.
+	intervals := tl.HoldIntervals()
+	var prev *codegen.HoldInterval
+	var prevAccessors []int
+	for idx := range intervals {
+		iv := intervals[idx]
+		st := &ivState{iv: iv}
+		var accessors []int
+		for i := iv.Start; i <= iv.End; i++ {
+			if _, ok := touch[i][iv.Key]; !ok {
+				continue
+			}
+			accessors = append(accessors, i)
+			if pp.cover[i] == nil {
+				pp.cover[i] = make(map[string]*ivState)
+			}
+			pp.cover[i][iv.Key] = st
+			pp.release[i] = append(pp.release[i], st)
+		}
+		if len(accessors) == 0 || accessors[0] != iv.Start {
+			return nil, fmt.Errorf("exec: hold interval %s[%d..%d] start event does not access the block",
+				iv.Key, iv.Start, iv.End)
+		}
+		st.refs = int32(len(accessors))
+
+		producer := iv.Start
+		var readers []int
+		for _, i := range accessors[1:] {
+			if touch[i][iv.Key].write {
+				if err := addEdge(producer, i); err != nil {
+					return nil, err
+				}
+				for _, r := range readers {
+					if err := addEdge(r, i); err != nil {
+						return nil, err
+					}
+				}
+				producer, readers = i, readers[:0]
+				continue
+			}
+			if err := addEdge(producer, i); err != nil {
+				return nil, err
+			}
+			readers = append(readers, i)
+		}
+
+		// Buffer-slot reuse: the previous interval of this block must fully
+		// release before the next one buffers.
+		if prev != nil && prev.Key == iv.Key {
+			for _, a := range prevAccessors {
+				if err := addEdge(a, iv.Start); err != nil {
+					return nil, err
+				}
+			}
+		}
+		prev, prevAccessors = &intervals[idx], accessors
+	}
+
+	// Disk-state dependences per block over DoIO actions.
+	type diskAcc struct {
+		event       int
+		read, write bool
+	}
+	diskByKey := make(map[string][]diskAcc)
+	for i, set := range pp.sets {
+		for _, ba := range set {
+			if ba.Action != codegen.DoIO {
+				continue
+			}
+			accs := diskByKey[ba.Key]
+			if len(accs) > 0 && accs[len(accs)-1].event == i {
+				if ba.Type == prog.Read {
+					accs[len(accs)-1].read = true
+				} else {
+					accs[len(accs)-1].write = true
+				}
+			} else {
+				accs = append(accs, diskAcc{event: i, read: ba.Type == prog.Read, write: ba.Type == prog.Write})
+			}
+			diskByKey[ba.Key] = accs
+		}
+	}
+	firstDiskWrite := make(map[string]int)
+	pp.firstDiskWrite = firstDiskWrite
+	for key, accs := range diskByKey {
+		lastWriter := -1
+		var readersSince []int
+		for _, a := range accs {
+			if a.read || a.write {
+				if lastWriter >= 0 {
+					if err := addEdge(lastWriter, a.event); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if a.write {
+				for _, r := range readersSince {
+					if err := addEdge(r, a.event); err != nil {
+						return nil, err
+					}
+				}
+				lastWriter, readersSince = a.event, readersSince[:0]
+				if _, ok := firstDiskWrite[key]; !ok {
+					firstDiskWrite[key] = a.event
+				}
+			}
+			if a.read {
+				readersSince = append(readersSince, a.event)
+			}
+		}
+	}
+
+	// Prefetch walk: a DoIO read is prefetchable when no earlier event
+	// writes the block to disk — then all prefetchable reads of one block
+	// see identical disk state and can share a single early read. Reads
+	// past a disk write are left to the executor, whose RAW edge orders
+	// them.
+	inWalk := make(map[string]bool)
+	for i, set := range pp.sets {
+		for _, ba := range set {
+			if ba.Type != prog.Read || ba.Action != codegen.DoIO {
+				continue
+			}
+			if w, ok := firstDiskWrite[ba.Key]; ok && w < i {
+				continue
+			}
+			pp.consumers[ba.Key]++
+			if !inWalk[ba.Key] {
+				inWalk[ba.Key] = true
+				pp.prefetch = append(pp.prefetch, pfReq{key: ba.Key, array: ba.Array, r: ba.R, c: ba.C})
+				if b := tl.Prog.Arrays[ba.Array].LogicalBlockBytes; b > pp.maxBlock {
+					pp.maxBlock = b
+				}
+			}
+		}
+	}
+	return pp, nil
+}
+
+// pfEntry is one coalesced prefetchable block read: issued either by the
+// prefetcher (ahead of execution, holding a window slot) or claimed inline
+// by the first consumer to need it, never both.
+type pfEntry struct {
+	refs     int32 // consumers remaining
+	shared   bool  // >1 consumers: hand out clones, keep blk pristine
+	issued   bool
+	slotHeld bool // the prefetcher holds a window slot until fully consumed
+	done     chan struct{}
+	blk      *blas.Matrix
+	err      error
+}
+
+// runState is the shared state of one parallel run.
+type runState struct {
+	e  *Engine
+	tl *codegen.Timeline
+	pp *pipeline
+
+	mu  sync.Mutex // guards buf and scheduler bookkeeping
+	buf map[string]*blas.Matrix
+
+	cacheMu sync.Mutex
+	cache   map[string]*pfEntry
+	slots   chan struct{}
+
+	cancel  chan struct{}
+	failErr error
+	once    sync.Once
+
+	cpuNanos atomic.Int64
+}
+
+func (rs *runState) fail(err error) {
+	rs.once.Do(func() {
+		rs.failErr = err
+		close(rs.cancel)
+	})
+}
+
+// runParallel executes the timeline on a worker pool with I/O prefetch.
+func (e *Engine) runParallel(tl *codegen.Timeline, opt Options) (Result, error) {
+	res, err := accountRun(tl, e.MemCapBytes)
+	if err != nil {
+		return res, err
+	}
+	pp, err := buildPipeline(tl)
+	if err != nil {
+		return res, err
+	}
+
+	depth := opt.PrefetchDepth
+	if depth <= 0 {
+		depth = 2 * opt.Workers
+	}
+	if e.MemCapBytes > 0 && pp.maxBlock > 0 {
+		// Prefetch only into the cap's headroom above the plan's peak.
+		if spare := int((e.MemCapBytes - res.PeakMemoryBytes) / pp.maxBlock); spare < depth {
+			depth = spare
+		}
+	}
+	if depth < 0 {
+		depth = 0
+	}
+
+	rs := &runState{
+		e: e, tl: tl, pp: pp,
+		buf:    make(map[string]*blas.Matrix),
+		cache:  make(map[string]*pfEntry, len(pp.prefetch)),
+		slots:  make(chan struct{}, max(depth, 1)),
+		cancel: make(chan struct{}),
+	}
+	for _, req := range pp.prefetch {
+		c := pp.consumers[req.key]
+		rs.cache[req.key] = &pfEntry{refs: int32(c), shared: c > 1, done: make(chan struct{})}
+	}
+	if depth > 0 {
+		go rs.prefetcher()
+	}
+
+	n := len(tl.Events)
+	ready := make(chan int, n)
+	remaining := n
+	for i := 0; i < n; i++ {
+		if pp.indeg[i] == 0 {
+			ready <- i
+		}
+	}
+	if n == 0 {
+		close(ready)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-rs.cancel:
+					return
+				case i, ok := <-ready:
+					if !ok {
+						return
+					}
+					if err := rs.execEvent(i); err != nil {
+						rs.fail(err)
+						return
+					}
+					rs.mu.Lock()
+					for _, s := range pp.succs[i] {
+						if pp.indeg[s]--; pp.indeg[s] == 0 {
+							ready <- s
+						}
+					}
+					if remaining--; remaining == 0 {
+						close(ready)
+					}
+					rs.mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rs.fail(nil) // release the prefetcher if it is still walking
+	if rs.failErr != nil {
+		return res, rs.failErr
+	}
+	res.CPUTime = time.Duration(rs.cpuNanos.Load())
+	res.SimulatedIOSec = e.Model.Time(res.ReadBytes, res.WriteBytes, res.ReadReqs, res.WriteReqs)
+	return res, nil
+}
+
+// prefetcher walks the timeline's prefetchable reads in first-use order,
+// issuing each one asynchronously while window slots are available. An
+// entry the executor already claimed inline is skipped.
+func (rs *runState) prefetcher() {
+	for _, req := range rs.pp.prefetch {
+		select {
+		case <-rs.cancel:
+			return
+		case rs.slots <- struct{}{}:
+		}
+		rs.cacheMu.Lock()
+		en := rs.cache[req.key]
+		if en == nil || en.issued {
+			// Fully consumed (entry evicted) or claimed inline already.
+			rs.cacheMu.Unlock()
+			<-rs.slots
+			continue
+		}
+		en.issued = true
+		en.slotHeld = true
+		rs.cacheMu.Unlock()
+		go func(req pfReq, en *pfEntry) {
+			en.blk, en.err = rs.e.Store.ReadBlock(req.array, req.r, req.c)
+			close(en.done)
+		}(req, en)
+	}
+}
+
+// readBlock serves one DoIO read at event i: from the prefetch cache when
+// the read is prefetchable (claiming the entry inline if the prefetcher
+// has not reached it yet), from storage otherwise — in particular, a read
+// scheduled after a disk write of the same block must bypass the cache,
+// whose entry predates the write. Shared entries hand out clones so a
+// consumer installing its block into the mutable buffer pool cannot
+// corrupt the others.
+func (rs *runState) readBlock(i int, array string, r, c int64, key string) (*blas.Matrix, error) {
+	if w, ok := rs.pp.firstDiskWrite[key]; ok && w < i {
+		return rs.e.Store.ReadBlock(array, r, c)
+	}
+	rs.cacheMu.Lock()
+	en := rs.cache[key]
+	if en == nil {
+		rs.cacheMu.Unlock()
+		return rs.e.Store.ReadBlock(array, r, c)
+	}
+	claimed := false
+	if !en.issued {
+		en.issued = true
+		claimed = true
+	}
+	en.refs--
+	last := en.refs == 0
+	if last {
+		// Evict so the block is not pinned for the rest of the run; a
+		// latecomer simply misses the cache and reads inline.
+		delete(rs.cache, key)
+	}
+	rs.cacheMu.Unlock()
+
+	if claimed {
+		en.blk, en.err = rs.e.Store.ReadBlock(array, r, c)
+		close(en.done)
+	} else {
+		select {
+		case <-en.done:
+		case <-rs.cancel:
+			return nil, fmt.Errorf("exec: canceled")
+		}
+	}
+	if last && en.slotHeld {
+		<-rs.slots
+	}
+	if en.err != nil {
+		return nil, en.err
+	}
+	if en.shared {
+		return en.blk.Clone(), nil
+	}
+	return en.blk, nil
+}
+
+// execEvent runs one statement instance: acquire operands (shared buffer,
+// prefetch cache, or disk), run the kernel, write back, then retain and
+// release held blocks. It mirrors Engine.Run's per-event logic exactly;
+// only the sourcing of blocks differs.
+func (rs *runState) execEvent(i int) error {
+	tl := rs.tl
+	ev := tl.Events[i]
+	set := rs.pp.sets[i]
+	cover := rs.pp.cover[i]
+
+	local := make(map[string]*blas.Matrix, len(set))
+	var kernelIn []*blas.Matrix
+	var outBlk *blas.Matrix
+	var writeBA *codegen.BlockAccess
+	var accRead *blas.Matrix
+
+	heldBefore := func(key string) bool {
+		iv, ok := cover[key]
+		return ok && i > iv.iv.Start
+	}
+
+	for bi := range set {
+		ba := &set[bi]
+		if ba.Type == prog.Read {
+			var m *blas.Matrix
+			switch ba.Action {
+			case codegen.FromMemory:
+				if heldBefore(ba.Key) {
+					rs.mu.Lock()
+					m = rs.buf[ba.Key]
+					rs.mu.Unlock()
+				}
+				if m == nil {
+					if lm, ok := local[ba.Key]; ok {
+						m = lm
+					} else {
+						return fmt.Errorf("exec: %s%v expects %s in memory but it is not buffered",
+							ev.St.Name, ev.X, ba.Key)
+					}
+				}
+			case codegen.DoIO:
+				var err error
+				m, err = rs.readBlock(i, ba.Array, ba.R, ba.C, ba.Key)
+				if err != nil {
+					return err
+				}
+			}
+			if _, dup := local[ba.Key]; !dup {
+				local[ba.Key] = m
+			}
+			if isAccumulatorRead(ev.St, ba.Acc) {
+				accRead = m
+			} else {
+				kernelIn = append(kernelIn, m)
+			}
+			continue
+		}
+		// Write access: the output block materializes in memory.
+		writeBA = ba
+		if heldBefore(ba.Key) {
+			rs.mu.Lock()
+			outBlk = rs.buf[ba.Key]
+			rs.mu.Unlock()
+			if outBlk == nil {
+				return fmt.Errorf("exec: %s%v writes held block %s but it is not buffered",
+					ev.St.Name, ev.X, ba.Key)
+			}
+		} else {
+			arr := tl.Prog.Arrays[ba.Array]
+			outBlk = blas.NewMatrix(arr.BlockRows, arr.BlockCols)
+		}
+		local[ba.Key] = outBlk
+	}
+
+	t0 := time.Now()
+	if err := RunKernel(ev.St, kernelIn, accRead, outBlk); err != nil {
+		return fmt.Errorf("exec: %s%v: %w", ev.St.Name, ev.X, err)
+	}
+	rs.cpuNanos.Add(int64(time.Since(t0)))
+
+	if writeBA != nil && writeBA.Action == codegen.DoIO {
+		if err := rs.e.Store.WriteBlock(writeBA.Array, writeBA.R, writeBA.C, outBlk); err != nil {
+			return err
+		}
+	}
+
+	// Retain blocks whose hold interval extends past this event; release
+	// interval references and evict fully consumed blocks.
+	rs.mu.Lock()
+	for key, m := range local {
+		if iv, ok := cover[key]; ok && i < iv.iv.End {
+			rs.buf[key] = m
+		}
+	}
+	for _, st := range rs.pp.release[i] {
+		if st.refs--; st.refs == 0 {
+			delete(rs.buf, st.iv.Key)
+		}
+	}
+	rs.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,276 @@
+package exec
+
+import (
+	"testing"
+
+	"riotshare/internal/blas"
+	"riotshare/internal/core"
+	"riotshare/internal/disk"
+	"riotshare/internal/ops"
+	"riotshare/internal/prog"
+	"riotshare/internal/storage"
+)
+
+// useropProgram mirrors examples/userop: a sliding-window operator, a scan
+// aggregate, and a nested-loop join over blocked vectors.
+func useropProgram() *prog.Program {
+	p := prog.New("userop", "n", "m")
+	p.AddArray(&prog.Array{Name: "Src", BlockRows: 8, BlockCols: 4, GridRows: 10, GridCols: 1})
+	p.AddArray(&prog.Array{Name: "Win", BlockRows: 8, BlockCols: 4, GridRows: 10, GridCols: 1, Transient: true})
+	p.AddArray(&prog.Array{Name: "Rel", BlockRows: 8, BlockCols: 4, GridRows: 6, GridCols: 1})
+	p.AddArray(&prog.Array{Name: "Agg", BlockRows: 1, BlockCols: 1, GridRows: 1, GridCols: 1})
+	p.AddArray(&prog.Array{Name: "Join", BlockRows: 1, BlockCols: 1, GridRows: 1, GridCols: 1})
+	p.NewNest()
+	s1 := p.NewStatement("s1", "i")
+	s1.Range("i", prog.C(0), prog.V("n"))
+	s1.Access(prog.Read, "Src", prog.V("i"), prog.C(0))
+	s1.Access(prog.Read, "Src", prog.V("i").AddK(1), prog.C(0))
+	s1.Access(prog.Write, "Win", prog.V("i"), prog.C(0))
+	s1.SetKernel("add")
+	ops.Scan(p, "s2", "Win", "Agg", "n")
+	ops.NLJoin(p, "s3", "Join", "Win", "Rel", "n", "m")
+	p.Bind("n", 9).Bind("m", 6)
+	return p
+}
+
+// outputArrays returns the persistent arrays the program writes.
+func outputArrays(p *prog.Program) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, st := range p.Stmts {
+		w := st.WriteAccess()
+		if w == nil || seen[w.Array] {
+			continue
+		}
+		seen[w.Array] = true
+		if arr := p.Arrays[w.Array]; arr != nil && !arr.Transient {
+			out = append(out, w.Array)
+		}
+	}
+	return out
+}
+
+// runPlan executes one plan on fresh storage and returns the result plus
+// every persistent output array.
+func runPlan(t *testing.T, p *prog.Program, pl *core.EvaluatedPlan, workers, prefetch int, memCap int64) (Result, map[string]*blas.Matrix) {
+	t.Helper()
+	m, err := storage.NewManager(t.TempDir(), storage.FormatDAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.CreateAll(p); err != nil {
+		t.Fatal(err)
+	}
+	fillInputs(t, p, m, 42)
+	eng := &Engine{Store: m, Model: disk.PaperModel(), MemCapBytes: memCap}
+	r, err := eng.RunOptions(pl.Timeline, Options{Workers: workers, PrefetchDepth: prefetch})
+	if err != nil {
+		t.Fatalf("plan %s workers=%d: %v", pl.Label, workers, err)
+	}
+	outs := map[string]*blas.Matrix{}
+	for _, name := range outputArrays(p) {
+		outs[name] = readFull(t, p, m, name)
+	}
+	return r, outs
+}
+
+// comparable strips the fields that legitimately vary between runs
+// (CPUTime is measured wall time inside kernels).
+func comparable(r Result) Result {
+	r.CPUTime = 0
+	return r
+}
+
+// assertIdentical checks the parallel engine's central invariant: logical
+// I/O accounting and numerics are byte-for-byte identical to sequential
+// execution, for any worker count.
+func assertIdentical(t *testing.T, label string, workers int, seq, par Result, seqOut, parOut map[string]*blas.Matrix) {
+	t.Helper()
+	if comparable(seq) != comparable(par) {
+		t.Errorf("plan %s workers=%d: Result diverged\nseq: %+v\npar: %+v", label, workers, comparable(seq), comparable(par))
+	}
+	for name, want := range seqOut {
+		got := parOut[name]
+		if got == nil {
+			t.Fatalf("plan %s workers=%d: output %s missing", label, workers, name)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("plan %s workers=%d: %s[%d] = %v, want %v (not bit-identical)",
+					label, workers, name, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// planSample bounds how many plans each program exercises: the baseline,
+// the best, and a spread in between.
+func planSample(res *core.Result, n int) []*core.EvaluatedPlan {
+	if len(res.Plans) <= n {
+		out := make([]*core.EvaluatedPlan, len(res.Plans))
+		for i := range res.Plans {
+			out[i] = &res.Plans[i]
+		}
+		return out
+	}
+	var out []*core.EvaluatedPlan
+	step := len(res.Plans) / n
+	for i := 0; i < len(res.Plans); i += step {
+		out = append(out, &res.Plans[i])
+	}
+	if base := res.Baseline(); base != nil {
+		out = append(out, base)
+	}
+	return out
+}
+
+// TestParallelMatchesSequential is the property test for the pipelined
+// engine: across the example programs and a sample of their plans, a
+// Workers=4 run must produce the same Result (ReadBytes/WriteBytes/
+// ReadReqs/WriteReqs/PeakMemoryBytes/SimulatedIOSec) and bit-identical
+// output matrices as Workers=1.
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name     string
+		prog     *prog.Program
+		subsets  [][]string
+		maxPlans int
+	}{
+		{name: "addmul", prog: addMulProgram(3, 4, 2), maxPlans: 10},
+		{name: "twomm", prog: ops.TwoMM(ops.TwoMMConfig{
+			N1: 3, N2: 4, N3: 3, N4: 4,
+			ABlock: ops.Dims{Rows: 4, Cols: 4}, BBlock: ops.Dims{Rows: 4, Cols: 4},
+			DBlock: ops.Dims{Rows: 4, Cols: 4},
+		}), maxPlans: 8},
+		{name: "linreg", prog: ops.LinReg(ops.LinRegConfig{
+			N: 4, XBlock: ops.Dims{Rows: 12, Cols: 5}, YBlock: ops.Dims{Rows: 12, Cols: 3},
+		}), subsets: [][]string{
+			{"s1RX→s2RX", "s1WU→s3RU", "s2WV→s4RV", "s3WW→s4RW", "s5WYh→s6RYh", "s6WEv→s7REv"},
+		}, maxPlans: 4},
+		{name: "userop", prog: useropProgram(), maxPlans: 6},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var res *core.Result
+			var err error
+			if tc.subsets != nil {
+				res, err = core.OptimizeSubsets(tc.prog, core.Options{BindParams: true}, tc.subsets)
+			} else {
+				res, err = core.Optimize(tc.prog, core.Options{BindParams: true})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pl := range planSample(res, tc.maxPlans) {
+				seq, seqOut := runPlan(t, tc.prog, pl, 1, 0, 0)
+				for _, workers := range []int{2, 4} {
+					par, parOut := runPlan(t, tc.prog, pl, workers, 0, 0)
+					assertIdentical(t, pl.Label, workers, seq, par, seqOut, parOut)
+				}
+			}
+		})
+	}
+}
+
+// The parallel engine must enforce the memory cap exactly like the
+// sequential one: a cap below the plan's peak fails, at the peak it runs —
+// and the prefetch window must degrade gracefully to zero headroom.
+func TestParallelMemoryCap(t *testing.T) {
+	p := addMulProgram(2, 3, 1)
+	res, err := core.Optimize(p, core.Options{BindParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := &res.Plans[0]
+	m, err := storage.NewManager(t.TempDir(), storage.FormatDAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.CreateAll(p); err != nil {
+		t.Fatal(err)
+	}
+	fillInputs(t, p, m, 3)
+	eng := &Engine{Store: m, Model: disk.PaperModel(), MemCapBytes: pl.Cost.PeakMemoryBytes - 1}
+	if _, err := eng.RunOptions(pl.Timeline, Options{Workers: 4}); err == nil {
+		t.Fatal("cap below the plan's peak must fail")
+	}
+	eng.MemCapBytes = pl.Cost.PeakMemoryBytes
+	if _, err := eng.RunOptions(pl.Timeline, Options{Workers: 4}); err != nil {
+		t.Fatalf("cap at the plan's peak must pass: %v", err)
+	}
+}
+
+// A corrupted timeline (holds dropped under FromMemory actions) must fail
+// the buffered-block invariant in the parallel engine too.
+func TestParallelFromMemoryInvariant(t *testing.T) {
+	p := addMulProgram(2, 2, 1)
+	res, err := core.Optimize(p, core.Options{BindParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withShares *core.EvaluatedPlan
+	for i := range res.Plans {
+		if len(res.Plans[i].Plan.Shares) > 0 {
+			withShares = &res.Plans[i]
+			break
+		}
+	}
+	if withShares == nil {
+		t.Skip("no sharing plan found")
+	}
+	bad := *withShares.Timeline
+	bad.Holds = nil
+	m, err := storage.NewManager(t.TempDir(), storage.FormatDAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.CreateAll(p); err != nil {
+		t.Fatal(err)
+	}
+	fillInputs(t, p, m, 1)
+	eng := &Engine{Store: m, Model: disk.PaperModel()}
+	if _, err := eng.RunOptions(&bad, Options{Workers: 4}); err == nil {
+		t.Fatal("corrupted timeline should fail the buffered-block invariant")
+	}
+}
+
+// The dry-run accounting must agree with what the sequential interpreter
+// physically measures, plan by plan — it is the bridge that keeps parallel
+// Results equal to sequential ones.
+func TestAccountRunMatchesSequential(t *testing.T) {
+	p := addMulProgram(3, 4, 2)
+	res, err := core.Optimize(p, core.Options{BindParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range res.Plans {
+		m, err := storage.NewManager(t.TempDir(), storage.FormatDAF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CreateAll(p); err != nil {
+			t.Fatal(err)
+		}
+		fillInputs(t, p, m, 42)
+		eng := &Engine{Store: m, Model: disk.PaperModel()}
+		measured, err := eng.Run(pl.Timeline)
+		if err != nil {
+			t.Fatalf("plan %s: %v", pl.Label, err)
+		}
+		accounted, err := accountRun(pl.Timeline, 0)
+		if err != nil {
+			t.Fatalf("plan %s: accountRun: %v", pl.Label, err)
+		}
+		accounted.SimulatedIOSec = eng.Model.Time(accounted.ReadBytes, accounted.WriteBytes, accounted.ReadReqs, accounted.WriteReqs)
+		if comparable(measured) != comparable(accounted) {
+			t.Errorf("plan %s: accounting diverged\nmeasured:  %+v\naccounted: %+v",
+				pl.Label, comparable(measured), comparable(accounted))
+		}
+		m.Close()
+	}
+}

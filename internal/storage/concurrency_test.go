@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"riotshare/internal/blas"
+	"riotshare/internal/prog"
+)
+
+// Concurrent reads and writes across goroutines must be safe on both
+// formats (the pipelined executor and its prefetcher hit the manager from
+// many goroutines at once), and coalesced readers must get independent
+// matrices so one caller mutating its result cannot corrupt another's.
+func TestConcurrentReadWrite(t *testing.T) {
+	for _, format := range []Format{FormatDAF, FormatLABTree} {
+		t.Run(format.String(), func(t *testing.T) {
+			m, err := NewManager(t.TempDir(), format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			arr := &prog.Array{Name: "A", BlockRows: 16, BlockCols: 16, GridRows: 4, GridCols: 4}
+			if err := m.Create(arr); err != nil {
+				t.Fatal(err)
+			}
+			// Seed every block with a value derived from its coordinates.
+			for r := int64(0); r < 4; r++ {
+				for c := int64(0); c < 4; c++ {
+					blk := blas.NewMatrix(16, 16)
+					for i := range blk.Data {
+						blk.Data[i] = float64(r*100 + c*10)
+					}
+					if err := m.WriteBlock("A", r, c, blk); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			for g := 0; g < 16; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for it := 0; it < 20; it++ {
+						// Rows 0-2 only: row 3 is the writers' stripe.
+						r, c := int64((g+it)%3), int64(g%4)
+						blk, err := m.ReadBlock("A", r, c)
+						if err != nil {
+							errs <- err
+							return
+						}
+						want := float64(r*100 + c*10)
+						if blk.Data[0] != want {
+							t.Errorf("A[%d,%d] = %g, want %g", r, c, blk.Data[0], want)
+						}
+						// Mutating our copy must not leak into other readers.
+						blk.Data[0] = -1
+					}
+				}()
+			}
+			// Writers on a disjoint block stripe keep the store busy.
+			for g := 0; g < 4; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					blk := blas.NewMatrix(16, 16)
+					for i := range blk.Data {
+						blk.Data[i] = float64(300 + g*10)
+					}
+					for it := 0; it < 20; it++ {
+						if err := m.WriteBlock("A", 3, int64(g)%4, blk); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Coalesced concurrent reads of one block all see the stored data.
+func TestCoalescedReadsShareOneRequest(t *testing.T) {
+	m, err := NewManager(t.TempDir(), FormatDAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	arr := &prog.Array{Name: "B", BlockRows: 8, BlockCols: 8, GridRows: 1, GridCols: 1}
+	if err := m.Create(arr); err != nil {
+		t.Fatal(err)
+	}
+	blk := blas.NewMatrix(8, 8)
+	for i := range blk.Data {
+		blk.Data[i] = float64(i)
+	}
+	if err := m.WriteBlock("B", 0, 0, blk); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([]*blas.Matrix, 32)
+	for g := range results {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := m.ReadBlock("B", 0, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = got
+		}()
+	}
+	wg.Wait()
+	seen := map[*blas.Matrix]bool{}
+	for g, got := range results {
+		if got == nil {
+			t.Fatal("missing result")
+		}
+		if seen[got] {
+			t.Fatal("two readers received the same matrix object")
+		}
+		seen[got] = true
+		for i := range got.Data {
+			if got.Data[i] != float64(i) {
+				t.Fatalf("reader %d: data[%d] = %g, want %d", g, i, got.Data[i], i)
+			}
+		}
+	}
+}

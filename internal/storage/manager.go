@@ -6,6 +6,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	"riotshare/internal/blas"
 	"riotshare/internal/prog"
@@ -63,8 +65,38 @@ func (d *DAF) Sync() error { return d.f.Sync() }
 // Close closes the file.
 func (d *DAF) Close() error { return d.f.Close() }
 
-// labStore adapts LABTree to BlockStore.
-type labStore struct{ *LABTree }
+// labStore adapts LABTree to BlockStore. The tree mutates shared in-memory
+// state (root, free list, scratch page) on both reads and writes, so the
+// adapter serializes all access; the DAF needs no lock because pread/pwrite
+// on one descriptor are atomic.
+type labStore struct {
+	mu sync.Mutex
+	t  *LABTree
+}
+
+func (s *labStore) Write(idx uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Write(idx, data)
+}
+
+func (s *labStore) Read(idx uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Read(idx)
+}
+
+func (s *labStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Sync()
+}
+
+func (s *labStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Close()
+}
 
 // Format selects the on-disk format.
 type Format int
@@ -110,14 +142,40 @@ func ZOrder(r, c int64, gridRows, gridCols int) uint64 {
 }
 
 // Manager stores the blocks of a program's arrays in one store per array.
+// It is safe for concurrent use: block reads and writes may be issued from
+// many goroutines (the pipelined executor and its prefetcher do), and
+// concurrent reads of the same block coalesce onto one disk request.
 type Manager struct {
 	Dir       string
 	Format    Format
 	Policy    SplitPolicy
 	Linearize Linearization
 
+	// ReadLatency/WriteLatency simulate a slow device by sleeping once per
+	// physical block request (coalesced readers share one sleep). They let
+	// pipelining experiments reproduce disk-bound behavior on fast local
+	// storage; zero (the default) disables the simulation.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	mu     sync.RWMutex // guards stores/arrays registration
 	stores map[string]BlockStore
 	arrays map[string]*prog.Array
+
+	// inflight coalesces concurrent reads of the same block: followers
+	// wait for the leader's disk read instead of issuing a duplicate
+	// request. Logical I/O accounting is the executor's job, so sharing a
+	// physical read never distorts the paper-scale volumes.
+	inflightMu sync.Mutex
+	inflight   map[string]*inflightRead
+}
+
+// inflightRead is one in-progress coalesced block read.
+type inflightRead struct {
+	done    chan struct{}
+	blk     *blas.Matrix
+	err     error
+	waiters int
 }
 
 // NewManager creates a storage manager writing under dir.
@@ -131,11 +189,14 @@ func NewManager(dir string, format Format) (*Manager, error) {
 		Linearize: ColMajor,
 		stores:    make(map[string]BlockStore),
 		arrays:    make(map[string]*prog.Array),
+		inflight:  make(map[string]*inflightRead),
 	}, nil
 }
 
 // Create opens the store for an array.
 func (m *Manager) Create(arr *prog.Array) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, dup := m.stores[arr.Name]; dup {
 		return fmt.Errorf("storage: array %q already created", arr.Name)
 	}
@@ -148,7 +209,7 @@ func (m *Manager) Create(arr *prog.Array) error {
 	case FormatLABTree:
 		var t *LABTree
 		t, err = OpenLABTree(path, m.Policy)
-		st = labStore{t}
+		st = &labStore{t: t}
 	default:
 		st, err = OpenDAF(path, arr.PhysicalBlockBytes())
 	}
@@ -176,6 +237,9 @@ func (m *Manager) WriteBlock(array string, r, c int64, blk *blas.Matrix) error {
 	if err != nil {
 		return err
 	}
+	if m.WriteLatency > 0 {
+		time.Sleep(m.WriteLatency)
+	}
 	if blk.Rows != arr.BlockRows || blk.Cols != arr.BlockCols {
 		return fmt.Errorf("storage: block shape %dx%d, array %s wants %dx%d",
 			blk.Rows, blk.Cols, array, arr.BlockRows, arr.BlockCols)
@@ -187,11 +251,49 @@ func (m *Manager) WriteBlock(array string, r, c int64, blk *blas.Matrix) error {
 	return st.Write(m.Linearize(r, c, arr.GridRows, arr.GridCols), buf)
 }
 
-// ReadBlock fetches and deserializes one block.
+// ReadBlock fetches and deserializes one block. Concurrent reads of the
+// same block coalesce: one disk request serves all callers. The leader
+// hands its matrix over directly; followers receive private copies, since
+// callers may install the result into a mutable buffer pool.
 func (m *Manager) ReadBlock(array string, r, c int64) (*blas.Matrix, error) {
+	key := readKey(array, r, c)
+	m.inflightMu.Lock()
+	if call, ok := m.inflight[key]; ok {
+		call.waiters++
+		m.inflightMu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, call.err
+		}
+		return call.blk.Clone(), nil
+	}
+	call := &inflightRead{done: make(chan struct{})}
+	m.inflight[key] = call
+	m.inflightMu.Unlock()
+
+	blk, err := m.readBlock(array, r, c)
+	call.blk, call.err = blk, err
+	m.inflightMu.Lock()
+	delete(m.inflight, key)
+	shared := call.waiters > 0
+	m.inflightMu.Unlock()
+	if shared && err == nil {
+		// Followers clone call.blk after done closes; leave it pristine and
+		// hand the leader its own copy too.
+		blk = blk.Clone()
+	}
+	close(call.done)
+	return blk, err
+}
+
+// readBlock performs the physical read.
+func (m *Manager) readBlock(array string, r, c int64) (*blas.Matrix, error) {
 	arr, st, err := m.lookup(array)
 	if err != nil {
 		return nil, err
+	}
+	if m.ReadLatency > 0 {
+		time.Sleep(m.ReadLatency)
 	}
 	buf, err := st.Read(m.Linearize(r, c, arr.GridRows, arr.GridCols))
 	if err != nil {
@@ -207,7 +309,13 @@ func (m *Manager) ReadBlock(array string, r, c int64) (*blas.Matrix, error) {
 	return blk, nil
 }
 
+func readKey(array string, r, c int64) string {
+	return fmt.Sprintf("%s[%d,%d]", array, r, c)
+}
+
 func (m *Manager) lookup(array string) (*prog.Array, BlockStore, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	arr, ok := m.arrays[array]
 	if !ok {
 		return nil, nil, fmt.Errorf("storage: unknown array %q", array)
@@ -217,6 +325,8 @@ func (m *Manager) lookup(array string) (*prog.Array, BlockStore, error) {
 
 // Close closes every store.
 func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var first error
 	for _, st := range m.stores {
 		if err := st.Close(); err != nil && first == nil {

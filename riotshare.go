@@ -183,12 +183,28 @@ func NewStorage(dir string, format StorageFormat) (*Storage, error) {
 // ExecResult reports a physical plan execution.
 type ExecResult = exec.Result
 
+// ExecOptions configures the pipelined parallel engine: Workers is the
+// number of concurrent kernel workers (<= 1 runs the sequential
+// interpreter) and PrefetchDepth bounds the I/O prefetch window (<= 0
+// picks a default; a memory cap shrinks it to the cap's headroom above the
+// plan's peak). Logical I/O accounting and numerics are identical for
+// every worker count.
+type ExecOptions = exec.Options
+
 // Execute runs an evaluated plan against storage with the given disk model
 // and optional memory cap (bytes; 0 = unlimited). Input arrays must already
 // be stored; output and intermediate blocks are produced by the run.
 func Execute(pl *EvaluatedPlan, store *Storage, model DiskModel, memCapBytes int64) (ExecResult, error) {
+	return ExecuteOptions(pl, store, model, memCapBytes, ExecOptions{})
+}
+
+// ExecuteOptions is Execute with pipelined parallel execution: a worker
+// pool runs independent in-core kernels concurrently while a prefetcher
+// issues block reads ahead of the timeline, preserving the plan's exact
+// I/O volumes and bit-identical numerics.
+func ExecuteOptions(pl *EvaluatedPlan, store *Storage, model DiskModel, memCapBytes int64, opt ExecOptions) (ExecResult, error) {
 	eng := &exec.Engine{Store: store, Model: model, MemCapBytes: memCapBytes}
-	return eng.Run(pl.Timeline)
+	return eng.RunOptions(pl.Timeline, opt)
 }
 
 // Pseudocode renders a plan's recovered loop nest (§5.5-style output).
