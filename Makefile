@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race test-full bench lint fmt
+.PHONY: build test test-race test-full bench bench-json lint fmt
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,15 @@ test-full:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Seed the perf trajectory: parallel-exec + buffer-pool benchmarks as JSON
+# (op, ns/op, hit rate). CI uploads BENCH_pool.json as an artifact. Each
+# step runs separately so a failing benchmark fails the target.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelExec' -benchtime 1x . > .bench-exec.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchmem ./internal/buffer > .bench-pool.txt
+	cat .bench-exec.txt .bench-pool.txt | $(GO) run ./cmd/benchjson -out BENCH_pool.json
+	@rm -f .bench-exec.txt .bench-pool.txt
 
 lint:
 	$(GO) vet ./...

@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON array of benchmark records, one per benchmark line:
+// name, iterations, ns/op, and every extra metric the benchmark reported
+// (B/op, allocs/op, custom metrics like the buffer pool's hit-rate).
+//
+//	go test -run '^$' -bench 'Pool' ./internal/buffer | benchjson -out BENCH_pool.json
+//
+// `make bench-json` uses it to seed the performance trajectory artifact
+// (BENCH_pool.json) that CI uploads on every run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Op         string  `json:"op"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// HitRate surfaces the buffer-pool benchmarks' custom metric at the
+	// top level when present.
+	HitRate *float64           `json:"hit_rate,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pool.json", "output JSON file (- for stdout)")
+	flag.Parse()
+	recs, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d records to %s\n", len(recs), *out)
+}
+
+// parse extracts benchmark lines of the form
+//
+//	BenchmarkName-8   123   4567 ns/op   0.98 hit-rate   12 B/op   3 allocs/op
+func parse(sc *bufio.Scanner) ([]Record, error) {
+	var recs []Record
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "Benchmark..." log line, not a result row
+		}
+		rec := Record{Op: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			unit := fields[i+1]
+			switch unit {
+			case "ns/op":
+				rec.NsPerOp = v
+			case "hit-rate":
+				hr := v
+				rec.HitRate = &hr
+				rec.Metrics[unit] = v
+			default:
+				rec.Metrics[unit] = v
+			}
+		}
+		if len(rec.Metrics) == 0 {
+			rec.Metrics = nil
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"riotshare/internal/bench"
@@ -51,10 +52,17 @@ func main() {
 		}
 		return
 	}
+	valid := make([]string, 0, len(runners)+1)
+	for name := range runners {
+		valid = append(valid, name)
+	}
+	sort.Strings(valid)
+	valid = append([]string{"all"}, valid...)
 	for _, name := range strings.Split(*exp, ",") {
 		fn, ok := runners[strings.TrimSpace(name)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "expdriver: unknown experiment %q\n", name)
+			fmt.Fprintf(os.Stderr, "expdriver: unknown experiment %q (valid: %s)\n",
+				name, strings.Join(valid, ", "))
 			os.Exit(2)
 		}
 		if err := fn(os.Stdout, opt); err != nil {

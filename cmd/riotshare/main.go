@@ -154,6 +154,7 @@ func run() error {
 		if _, err := bench.FillInputs(p, store, 1); err != nil {
 			return err
 		}
+		preRun := store.Stats()
 		model := riotshare.PaperDiskModel()
 		r, err := riotshare.ExecuteOptions(pl, store, model, *memMB<<20,
 			riotshare.ExecOptions{Workers: *workers, PrefetchDepth: *prefetch})
@@ -166,6 +167,13 @@ func run() error {
 			float64(r.ReadBytes)/(1<<30), r.ReadReqs, float64(r.WriteBytes)/(1<<30), r.WriteReqs)
 		fmt.Printf("peak memory %.0fMB, kernel CPU %v\n",
 			float64(r.PeakMemoryBytes)/(1<<20), r.CPUTime)
+		// Physical I/O the run actually issued to the block store
+		// (scaled-down blocks, DESIGN.md S5; excludes the input fill) —
+		// the ground truth buffer-pool hit rates are verified against.
+		ps := store.Stats()
+		fmt.Printf("physical I/O: %d read requests (%.1fMB), %d write requests (%.1fMB)\n",
+			ps.ReadReqs-preRun.ReadReqs, float64(ps.ReadBytes-preRun.ReadBytes)/(1<<20),
+			ps.WriteReqs-preRun.WriteReqs, float64(ps.WriteBytes-preRun.WriteBytes)/(1<<20))
 		if *workers > 1 {
 			fmt.Printf("pipelined wall-clock estimate (I/O overlapped with compute): %.0fs\n",
 				model.PipelinedTime(r.ReadBytes, r.WriteBytes, r.ReadReqs, r.WriteReqs, r.CPUTime.Seconds()))

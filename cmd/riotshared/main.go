@@ -1,0 +1,194 @@
+// Command riotshared is the multi-query analytics daemon: it serves the
+// HTTP/JSON API of internal/server — concurrent program submissions
+// optimized through a plan cache and executed over one shared,
+// sharing-aware buffer pool — and doubles as its command-line client.
+//
+// Server:
+//
+//	riotshared serve -addr :8377 -data /var/lib/riotshare -pool-mb 256 -max-concurrent 4
+//
+// Client:
+//
+//	riotshared submit  -addr http://localhost:8377 -prog addmul -mem 1000
+//	riotshared submit  -addr http://localhost:8377 -spec program.json
+//	riotshared status  -addr http://localhost:8377 -id q1
+//	riotshared results -addr http://localhost:8377 -id q1 -wait
+//	riotshared stats   -addr http://localhost:8377
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
+// requests drain, running queries finish, the pool flushes.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"riotshare/internal/server"
+	"riotshare/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "riotshared:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) < 2 {
+		return fmt.Errorf("subcommand required: serve, submit, status, results, stats")
+	}
+	sub := os.Args[1]
+	fs := flag.NewFlagSet(sub, flag.ExitOnError)
+	switch sub {
+	case "serve":
+		return serve(fs, os.Args[2:])
+	case "submit", "status", "results", "stats":
+		return client(sub, fs, os.Args[2:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (serve, submit, status, results, stats)", sub)
+	}
+}
+
+func serve(fs *flag.FlagSet, args []string) error {
+	var (
+		addr     = fs.String("addr", ":8377", "listen address")
+		dir      = fs.String("data", "", "directory for physical block files (default: temp)")
+		format   = fs.String("format", "daf", "block format: daf or lab-tree")
+		poolMB   = fs.Int64("pool-mb", 256, "shared buffer pool capacity in MB (0 = unlimited)")
+		maxConc  = fs.Int("max-concurrent", 2, "max concurrently executing queries (K)")
+		memMB    = fs.Int64("mem-mb", 0, "global cap on combined plan peak memory in MB (0 = unlimited)")
+		workers  = fs.Int("workers", 1, "default kernel workers per query (1 = sequential engine)")
+		prefetch = fs.Int("prefetch", 0, "default I/O prefetch window per query (0 = 2x workers)")
+		seed     = fs.Int64("seed", 1, "synthetic input data seed")
+		full     = fs.Bool("full", false, "full plan-space search for linreg (minutes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		d, err := os.MkdirTemp("", "riotshared-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		*dir = d
+	}
+	f := storage.FormatDAF
+	if *format == "lab-tree" {
+		f = storage.FormatLABTree
+	} else if *format != "daf" {
+		return fmt.Errorf("unknown format %q (daf, lab-tree)", *format)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("riotshared: serving on %s (data %s, pool %dMB, K=%d)\n", *addr, *dir, *poolMB, *maxConc)
+	err := server.ListenAndServe(ctx, *addr, server.Config{
+		Dir:            *dir,
+		Format:         f,
+		PoolBytes:      *poolMB << 20,
+		MaxConcurrent:  *maxConc,
+		GlobalMemBytes: *memMB << 20,
+		Workers:        *workers,
+		PrefetchDepth:  *prefetch,
+		Seed:           *seed,
+		FullSearch:     *full,
+	})
+	if err == http.ErrServerClosed {
+		err = nil
+	}
+	return err
+}
+
+func client(sub string, fs *flag.FlagSet, args []string) error {
+	var (
+		addr     = fs.String("addr", "http://localhost:8377", "server base URL")
+		progName = fs.String("prog", "", "named program: addmul, twomm-a, twomm-b, linreg")
+		specPath = fs.String("spec", "", "statement-builder JSON program file")
+		memMB    = fs.Int64("mem", 0, "per-query memory cap in MB (0 = unlimited)")
+		plan     = fs.Int("plan", -1, "force plan index (-1 = cheapest fitting plan)")
+		workers  = fs.Int("workers", 0, "kernel workers for this query (0 = server default)")
+		id       = fs.String("id", "", "query id (status, results)")
+		wait     = fs.Bool("wait", false, "block until the query finishes (results)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch sub {
+	case "submit":
+		req := server.Request{Program: *progName, MemCapMB: *memMB, Workers: *workers}
+		if *specPath != "" {
+			data, err := os.ReadFile(*specPath)
+			if err != nil {
+				return err
+			}
+			var spec server.ProgramSpec
+			if err := json.Unmarshal(data, &spec); err != nil {
+				return fmt.Errorf("parse %s: %w", *specPath, err)
+			}
+			req.Spec = &spec
+		}
+		if *plan >= 0 {
+			req.Plan = plan
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		return do(http.MethodPost, *addr+"/submit", body)
+	case "status":
+		if *id == "" {
+			return fmt.Errorf("-id required")
+		}
+		return do(http.MethodGet, *addr+"/status?id="+*id, nil)
+	case "results":
+		if *id == "" {
+			return fmt.Errorf("-id required")
+		}
+		url := *addr + "/results?id=" + *id
+		if *wait {
+			url += "&wait=1"
+		}
+		return do(http.MethodGet, url, nil)
+	case "stats":
+		return do(http.MethodGet, *addr+"/stats", nil)
+	}
+	return nil
+}
+
+// do performs one API call and prints the JSON response.
+func do(method, url string, body []byte) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(out)
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

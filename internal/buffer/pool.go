@@ -1,0 +1,393 @@
+// Package buffer is a capacity-bounded, sharing-aware buffer pool in front
+// of the storage manager. It extends the paper's intra-program I/O sharing
+// across concurrent queries: a block read by one query stays cached (one
+// pristine frame per block) and is a memory hit for every later acquisition
+// by any query over the same pool, until LRU eviction reclaims it.
+//
+// Frames carry ref-counted pins driven by each plan's hold intervals (the
+// execution engines pin on acquisition and keep one pin per active hold;
+// see internal/exec): pinned frames are never evicted, unpinned frames age
+// out in least-recently-used order. Writes are deferred: Put installs a
+// dirty frame which is written back to storage on eviction or Flush, so
+// repeated writes to one block (accumulator chains) reach disk once.
+//
+// Capacity is a soft bound: when every frame is pinned the pool admits the
+// acquisition anyway (refusing would deadlock a running plan) and evicts
+// back down as pins release. Callers always receive private copies; the
+// cached frame stays pristine, so one query mutating its working set can
+// never corrupt another query's reads.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"riotshare/internal/blas"
+	"riotshare/internal/storage"
+)
+
+// Pool is the shared block cache. It is safe for concurrent use by many
+// queries.
+type Pool struct {
+	store *storage.Manager
+	// capBytes bounds cached bytes (soft; <= 0 = unlimited).
+	capBytes int64
+
+	mu     sync.Mutex
+	frames map[string]*frame
+	lru    *list.List // unpinned resident frames; front = least recently used
+	bytes  int64
+
+	hits, misses, puts    int64
+	evictions, writebacks int64
+	evictErr              error // sticky write-back failure from capacity eviction
+}
+
+// frame is one cached block.
+type frame struct {
+	array string
+	r, c  int64
+	key   string
+
+	blk   *blas.Matrix
+	bytes int64
+	pins  int
+	dirty bool
+	// elem is non-nil exactly while the frame is unpinned and resident
+	// (evictable).
+	elem *list.Element
+	// loading is non-nil while the leader's miss read is in flight;
+	// followers wait on it instead of issuing a duplicate read.
+	loading chan struct{}
+	err     error
+}
+
+// NewPool creates a pool over the manager with the given soft capacity in
+// bytes (<= 0 = unlimited).
+func NewPool(store *storage.Manager, capacityBytes int64) *Pool {
+	return &Pool{
+		store:    store,
+		capBytes: capacityBytes,
+		frames:   make(map[string]*frame),
+		lru:      list.New(),
+	}
+}
+
+func poolKey(array string, r, c int64) string {
+	return fmt.Sprintf("%s[%d,%d]", array, r, c)
+}
+
+// unlist removes the frame from the LRU list (it is pinned or evicted).
+func (p *Pool) unlist(f *frame) {
+	if f.elem != nil {
+		p.lru.Remove(f.elem)
+		f.elem = nil
+	}
+}
+
+// Acquire returns a private copy of the block with one pin held on its
+// frame. A cached block is a hit; otherwise the caller becomes the read
+// leader (concurrent acquirers of the same block coalesce onto its read and
+// count as hits). Release the pin with Unpin when the block leaves the
+// query's working set.
+func (p *Pool) Acquire(array string, r, c int64) (*blas.Matrix, error) {
+	key := poolKey(array, r, c)
+	p.mu.Lock()
+	if f, ok := p.frames[key]; ok {
+		f.pins++
+		p.unlist(f)
+		if ch := f.loading; ch != nil {
+			// Coalesce onto the in-flight leader read.
+			p.mu.Unlock()
+			<-ch
+			p.mu.Lock()
+			if f.err != nil {
+				err := f.err
+				p.mu.Unlock()
+				return nil, err
+			}
+			p.hits++
+			src := f.blk
+			p.mu.Unlock()
+			// Frames are never mutated in place (Put swaps the pointer),
+			// so the full-block copy can run outside the pool lock.
+			return src.Clone(), nil
+		}
+		p.hits++
+		src := f.blk
+		p.mu.Unlock()
+		return src.Clone(), nil
+	}
+
+	// Miss: install a loading frame and become the leader.
+	f := &frame{array: array, r: r, c: c, key: key, pins: 1, loading: make(chan struct{})}
+	p.frames[key] = f
+	p.misses++
+	p.mu.Unlock()
+
+	blk, err := p.store.ReadBlock(array, r, c)
+
+	p.mu.Lock()
+	if err != nil {
+		// Dead frame: unregister so future acquires retry; waiting
+		// followers observe the error through their frame pointer.
+		f.err = err
+		delete(p.frames, key)
+		close(f.loading)
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.blk = blk
+	f.bytes = int64(len(blk.Data)) * 8
+	p.bytes += f.bytes
+	close(f.loading)
+	f.loading = nil
+	p.noteEvictErr(p.evictToCapLocked())
+	p.mu.Unlock()
+	return blk.Clone(), nil
+}
+
+// noteEvictErr records a write-back failure from capacity eviction. The
+// acquisition that triggered it still succeeded (the victim was
+// re-inserted, no data lost), so the error is sticky and surfaced by the
+// next Flush instead of failing the caller — which would leak its pin.
+func (p *Pool) noteEvictErr(err error) {
+	if err != nil && p.evictErr == nil {
+		p.evictErr = err
+	}
+}
+
+// Put installs a written block (the pool keeps its own copy, marked dirty
+// for deferred write-back) with one pin held on the frame. Later Acquires
+// of the block hit the new value.
+func (p *Pool) Put(array string, r, c int64, blk *blas.Matrix) error {
+	cl := blk.Clone() // copy outside the lock; the caller keeps mutating blk
+	key := poolKey(array, r, c)
+	p.mu.Lock()
+	f := p.frames[key]
+	for f != nil && f.loading != nil {
+		// A miss read is in flight; wait for it so we never race its
+		// installation (the plan's dependence edges order same-query
+		// accesses, but another query may be reading this block).
+		ch := f.loading
+		p.mu.Unlock()
+		<-ch
+		p.mu.Lock()
+		f = p.frames[key]
+	}
+	if f == nil {
+		f = &frame{array: array, r: r, c: c, key: key}
+		p.frames[key] = f
+	}
+	p.bytes -= f.bytes
+	f.blk = cl
+	f.bytes = int64(len(f.blk.Data)) * 8
+	p.bytes += f.bytes
+	f.dirty = true
+	f.pins++
+	p.unlist(f)
+	p.puts++
+	p.noteEvictErr(p.evictToCapLocked())
+	p.mu.Unlock()
+	return nil
+}
+
+// Unpin releases n pins on the block's frame; a frame whose last pin
+// releases joins the LRU order and becomes evictable.
+func (p *Pool) Unpin(array string, r, c int64, n int) {
+	key := poolKey(array, r, c)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[key]
+	if !ok {
+		return
+	}
+	f.pins -= n
+	if f.pins < 0 {
+		f.pins = 0
+	}
+	if f.pins == 0 && f.blk != nil && f.loading == nil && f.elem == nil {
+		f.elem = p.lru.PushBack(f)
+		p.noteEvictErr(p.evictToCapLocked())
+	}
+}
+
+// evictToCapLocked evicts unpinned frames in LRU order until cached bytes
+// fit the capacity, writing dirty victims back first. A write-back failure
+// re-inserts the victim (its data must not be lost) and stops eviction.
+// Dirty write-back happens under the pool lock — a known serialization
+// point when the pool runs over capacity on slow storage; size the pool to
+// keep hot working sets resident (ROADMAP: pool partitioning).
+func (p *Pool) evictToCapLocked() error {
+	for p.capBytes > 0 && p.bytes > p.capBytes {
+		e := p.lru.Front()
+		if e == nil {
+			return nil // everything pinned: soft bound, admit the overage
+		}
+		f := e.Value.(*frame)
+		p.lru.Remove(e)
+		f.elem = nil
+		if f.dirty {
+			if err := p.store.WriteBlock(f.array, f.r, f.c, f.blk); err != nil {
+				f.elem = p.lru.PushFront(f)
+				return fmt.Errorf("buffer: write-back %s: %w", f.key, err)
+			}
+			f.dirty = false
+			p.writebacks++
+		}
+		delete(p.frames, f.key)
+		p.bytes -= f.bytes
+		p.evictions++
+	}
+	return nil
+}
+
+// Flush writes every dirty frame back to storage (queries' outputs become
+// durable and readable through the manager). It also surfaces any sticky
+// eviction write-back error.
+func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if !f.dirty || f.blk == nil {
+			continue
+		}
+		if err := p.store.WriteBlock(f.array, f.r, f.c, f.blk); err != nil {
+			return fmt.Errorf("buffer: flush %s: %w", f.key, err)
+		}
+		f.dirty = false
+		p.writebacks++
+	}
+	err := p.evictErr
+	p.evictErr = nil
+	return err
+}
+
+// InvalidateArray makes one array durable and drops its frames: every
+// dirty frame is written back (pinned or not, so callers reading the array
+// through storage afterwards always see current data), and unpinned frames
+// are evicted. The multi-query server uses it to retire a finished query's
+// private output frames so they stop competing with shared inputs for
+// capacity. Frames still loading are left alone (they are never dirty).
+func (p *Pool) InvalidateArray(array string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, f := range p.frames {
+		if f.array != array || f.loading != nil {
+			continue
+		}
+		if f.dirty {
+			if err := p.store.WriteBlock(f.array, f.r, f.c, f.blk); err != nil {
+				return fmt.Errorf("buffer: invalidate %s: %w", f.key, err)
+			}
+			f.dirty = false
+			p.writebacks++
+		}
+		if f.pins > 0 {
+			continue
+		}
+		p.unlist(f)
+		delete(p.frames, key)
+		p.bytes -= f.bytes
+	}
+	return nil
+}
+
+// DiscardArray drops every unpinned frame of one array without write-back
+// — for arrays about to be deleted (a failed or retired query's outputs),
+// where flushing dirty data would be wasted I/O. Loading frames are
+// skipped.
+func (p *Pool) DiscardArray(array string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, f := range p.frames {
+		if f.array != array || f.loading != nil || f.pins > 0 {
+			continue
+		}
+		p.unlist(f)
+		delete(p.frames, key)
+		p.bytes -= f.bytes
+	}
+}
+
+// Stats is a snapshot of the pool's counters.
+type Stats struct {
+	// Hits and Misses count Acquires served from a cached (or in-flight)
+	// frame vs. leader reads that went to storage; Puts counts installed
+	// writes.
+	Hits, Misses, Puts int64
+	// Evictions and Writebacks count LRU evictions and dirty write-backs
+	// (eviction-driven plus Flush).
+	Evictions, Writebacks int64
+	// BytesCached/BytesCap report occupancy against the soft capacity;
+	// Frames/PinnedFrames count resident and currently pinned frames.
+	BytesCached, BytesCap int64
+	Frames, PinnedFrames  int
+}
+
+// HitRate returns hits / (hits + misses), 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		Hits: p.hits, Misses: p.misses, Puts: p.puts,
+		Evictions: p.evictions, Writebacks: p.writebacks,
+		BytesCached: p.bytes, BytesCap: p.capBytes,
+		Frames: len(p.frames),
+	}
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			st.PinnedFrames++
+		}
+	}
+	return st
+}
+
+// Session is an array-aliasing view of the pool: block acquisitions rename
+// arrays through the alias map before touching the shared pool. The
+// multi-query server gives each query a session mapping its written arrays
+// to private namespaced names while inputs keep their shared names — that
+// is what makes one query's input read a hit for the next, without letting
+// two queries collide on outputs. Session implements the same acquisition
+// interface as the pool itself.
+type Session struct {
+	pool  *Pool
+	alias map[string]string
+}
+
+// Session creates an aliasing view; arrays absent from alias keep their
+// names (shared).
+func (p *Pool) Session(alias map[string]string) *Session {
+	return &Session{pool: p, alias: alias}
+}
+
+func (s *Session) resolve(array string) string {
+	if phys, ok := s.alias[array]; ok {
+		return phys
+	}
+	return array
+}
+
+// Acquire is Pool.Acquire under the session's aliasing.
+func (s *Session) Acquire(array string, r, c int64) (*blas.Matrix, error) {
+	return s.pool.Acquire(s.resolve(array), r, c)
+}
+
+// Put is Pool.Put under the session's aliasing.
+func (s *Session) Put(array string, r, c int64, blk *blas.Matrix) error {
+	return s.pool.Put(s.resolve(array), r, c, blk)
+}
+
+// Unpin is Pool.Unpin under the session's aliasing.
+func (s *Session) Unpin(array string, r, c int64, n int) {
+	s.pool.Unpin(s.resolve(array), r, c, n)
+}

@@ -41,6 +41,12 @@ type Engine struct {
 	// working set ever exceeds the cap (the optimizer must have chosen a
 	// plan that fits, §4.2).
 	MemCapBytes int64
+	// Pool, when non-nil, routes every physical block read and write
+	// through a sharing-aware buffer pool instead of raw storage, so
+	// concurrent queries over one pool serve each other's blocks from
+	// memory. Pool frames are pinned for the plan's hold intervals.
+	// Logical I/O accounting (Result) is identical either way.
+	Pool BlockPool
 }
 
 // buffered is one memory-resident block.
@@ -53,6 +59,12 @@ type buffered struct {
 func (e *Engine) Run(tl *codegen.Timeline) (Result, error) {
 	var res Result
 	p := tl.Prog
+
+	// Pool pins owned by this run: one per block acquired at each event,
+	// reduced to a single hold-scoped pin while the block's hold interval
+	// is active, released when it expires (and unconditionally on exit).
+	pins := newPinSet(e.Pool)
+	defer pins.releaseAll()
 
 	// holdsUntil[blockKey] = latest event index through which the block must
 	// stay buffered (merged over the plan's hold intervals), indexed as the
@@ -128,9 +140,13 @@ func (e *Engine) Run(tl *codegen.Timeline) (Result, error) {
 					}
 				case action == codegen.DoIO:
 					var err error
-					m, err = e.Store.ReadBlock(ac.Array, r, c)
+					var pinned bool
+					m, pinned, err = e.readThrough(ac.Array, r, c)
 					if err != nil {
 						return res, err
+					}
+					if pinned {
+						pins.add(key, ac.Array, r, c)
 					}
 					res.ReadBytes += arr.LogicalBlockBytes
 					res.ReadReqs++
@@ -176,8 +192,12 @@ func (e *Engine) Run(tl *codegen.Timeline) (Result, error) {
 		if writeAcc != nil && writeAction == codegen.DoIO {
 			arr := p.Arrays[writeAcc.Array]
 			r, c := writeAcc.BlockAt(ev.X, tl.Params)
-			if err := e.Store.WriteBlock(writeAcc.Array, r, c, outBlk); err != nil {
+			pinned, err := e.writeThrough(writeAcc.Array, r, c, outBlk)
+			if err != nil {
 				return res, err
+			}
+			if pinned {
+				pins.add(codegen.BlockKey(writeAcc.Array, r, c), writeAcc.Array, r, c)
 			}
 			res.WriteBytes += arr.LogicalBlockBytes
 			res.WriteReqs++
@@ -195,6 +215,15 @@ func (e *Engine) Run(tl *codegen.Timeline) (Result, error) {
 				buf[key] = buffered{blk: m, bytes: buf[key].bytes}
 			}
 		}
+		// Pool pins follow the holds: blocks acquired this event keep one
+		// pin while their hold extends past it, none otherwise.
+		for key := range local {
+			keep := 0
+			if end, heldNow := holdEnd[key]; heldNow && end > i {
+				keep = 1
+			}
+			pins.drop(key, keep)
+		}
 		// Expire holds ending at this event.
 		for key, end := range holdEnd {
 			if end <= i {
@@ -203,6 +232,7 @@ func (e *Engine) Run(tl *codegen.Timeline) (Result, error) {
 					delete(buf, key)
 				}
 				delete(holdEnd, key)
+				pins.drop(key, 0)
 			}
 		}
 	}

@@ -49,6 +49,11 @@ type Options struct {
 	// (<= 0 selects 2*Workers). A nonzero Engine.MemCapBytes additionally
 	// shrinks the window to the cap's headroom above the plan's peak.
 	PrefetchDepth int
+	// Pool, when non-nil, routes physical block I/O through a
+	// sharing-aware buffer pool (overrides Engine.Pool for this run). With
+	// a pool the prefetcher warms pool frames instead of holding a private
+	// cache, so prefetched blocks are shared with concurrent queries too.
+	Pool BlockPool
 }
 
 // RunOptions executes the timeline with the given parallelism. Workers <= 1
@@ -56,10 +61,14 @@ type Options struct {
 // identical Result (modulo CPUTime, which is measured wall time inside
 // kernels either way).
 func (e *Engine) RunOptions(tl *codegen.Timeline, opt Options) (Result, error) {
-	if opt.Workers <= 1 {
-		return e.Run(tl)
+	eng := *e
+	if opt.Pool != nil {
+		eng.Pool = opt.Pool
 	}
-	return e.runParallel(tl, opt)
+	if opt.Workers <= 1 {
+		return eng.Run(tl)
+	}
+	return eng.runParallel(tl, opt)
 }
 
 // accountRun replays the timeline's actions with sequential semantics and
@@ -439,12 +448,20 @@ type runState struct {
 	tl *codegen.Timeline
 	pp *pipeline
 
-	mu  sync.Mutex // guards buf and scheduler bookkeeping
+	mu  sync.Mutex // guards buf, ivPins and scheduler bookkeeping
 	buf map[string]*blas.Matrix
+	// ivPins holds pool pins owned by active hold intervals (pool mode):
+	// event-local pins transfer here while an interval stays active and
+	// are released when its last accessor completes.
+	ivPins *pinSet
 
 	cacheMu sync.Mutex
 	cache   map[string]*pfEntry
 	slots   chan struct{}
+	// pfWG tracks the prefetcher and every read goroutine it spawned;
+	// runParallel joins it so no straggler touches the pool or storage
+	// after the run returns.
+	pfWG sync.WaitGroup
 
 	cancel  chan struct{}
 	failErr error
@@ -488,15 +505,18 @@ func (e *Engine) runParallel(tl *codegen.Timeline, opt Options) (Result, error) 
 	rs := &runState{
 		e: e, tl: tl, pp: pp,
 		buf:    make(map[string]*blas.Matrix),
+		ivPins: newPinSet(e.Pool),
 		cache:  make(map[string]*pfEntry, len(pp.prefetch)),
 		slots:  make(chan struct{}, max(depth, 1)),
 		cancel: make(chan struct{}),
 	}
+	defer rs.ivPins.releaseAll()
 	for _, req := range pp.prefetch {
 		c := pp.consumers[req.key]
 		rs.cache[req.key] = &pfEntry{refs: int32(c), shared: c > 1, done: make(chan struct{})}
 	}
 	if depth > 0 {
+		rs.pfWG.Add(1)
 		go rs.prefetcher()
 	}
 
@@ -544,7 +564,8 @@ func (e *Engine) runParallel(tl *codegen.Timeline, opt Options) (Result, error) 
 		}()
 	}
 	wg.Wait()
-	rs.fail(nil) // release the prefetcher if it is still walking
+	rs.fail(nil)   // release the prefetcher if it is still walking
+	rs.pfWG.Wait() // join prefetch reads so none outlives the run
 	if rs.failErr != nil {
 		return res, rs.failErr
 	}
@@ -557,6 +578,7 @@ func (e *Engine) runParallel(tl *codegen.Timeline, opt Options) (Result, error) 
 // issuing each one asynchronously while window slots are available. An
 // entry the executor already claimed inline is skipped.
 func (rs *runState) prefetcher() {
+	defer rs.pfWG.Done()
 	for _, req := range rs.pp.prefetch {
 		select {
 		case <-rs.cancel:
@@ -574,10 +596,47 @@ func (rs *runState) prefetcher() {
 		en.issued = true
 		en.slotHeld = true
 		rs.cacheMu.Unlock()
+		rs.pfWG.Add(1)
 		go func(req pfReq, en *pfEntry) {
+			defer rs.pfWG.Done()
+			if pool := rs.e.Pool; pool != nil {
+				// Pool mode: warm the shared pool instead of a private
+				// cache. Consumers acquire their own pinned copies (the
+				// pool coalesces with this in-flight read), so the
+				// prefetcher's pin is released immediately. An error is
+				// left for the consumer's own read to surface.
+				if _, err := pool.Acquire(req.array, req.r, req.c); err == nil {
+					pool.Unpin(req.array, req.r, req.c, 1)
+				}
+				close(en.done)
+				return
+			}
 			en.blk, en.err = rs.e.Store.ReadBlock(req.array, req.r, req.c)
 			close(en.done)
 		}(req, en)
+	}
+}
+
+// noteConsumed retires one prefetch-window reference for key (pool mode):
+// the pool itself serves and caches the block, so the cache entry only
+// tracks window occupancy. The last consumer evicts the entry and frees
+// the prefetcher's slot.
+func (rs *runState) noteConsumed(key string) {
+	rs.cacheMu.Lock()
+	en := rs.cache[key]
+	if en == nil {
+		rs.cacheMu.Unlock()
+		return
+	}
+	en.refs--
+	last := en.refs == 0
+	if last {
+		delete(rs.cache, key)
+	}
+	slotHeld := en.slotHeld
+	rs.cacheMu.Unlock()
+	if last && slotHeld {
+		<-rs.slots
 	}
 }
 
@@ -587,16 +646,28 @@ func (rs *runState) prefetcher() {
 // scheduled after a disk write of the same block must bypass the cache,
 // whose entry predates the write. Shared entries hand out clones so a
 // consumer installing its block into the mutable buffer pool cannot
-// corrupt the others.
-func (rs *runState) readBlock(i int, array string, r, c int64, key string) (*blas.Matrix, error) {
+// corrupt the others. The pinned result reports that the caller owns one
+// pool pin (pool mode only). In pool mode every read — including
+// post-disk-write bypass reads — goes through the pool, whose frame always
+// holds the current value (disk writes are deferred write-backs there).
+func (rs *runState) readBlock(i int, array string, r, c int64, key string) (*blas.Matrix, bool, error) {
+	if pool := rs.e.Pool; pool != nil {
+		if w, ok := rs.pp.firstDiskWrite[key]; !ok || w >= i {
+			rs.noteConsumed(key)
+		}
+		m, err := pool.Acquire(array, r, c)
+		return m, err == nil, err
+	}
 	if w, ok := rs.pp.firstDiskWrite[key]; ok && w < i {
-		return rs.e.Store.ReadBlock(array, r, c)
+		m, err := rs.e.Store.ReadBlock(array, r, c)
+		return m, false, err
 	}
 	rs.cacheMu.Lock()
 	en := rs.cache[key]
 	if en == nil {
 		rs.cacheMu.Unlock()
-		return rs.e.Store.ReadBlock(array, r, c)
+		m, err := rs.e.Store.ReadBlock(array, r, c)
+		return m, false, err
 	}
 	claimed := false
 	if !en.issued {
@@ -619,19 +690,19 @@ func (rs *runState) readBlock(i int, array string, r, c int64, key string) (*bla
 		select {
 		case <-en.done:
 		case <-rs.cancel:
-			return nil, fmt.Errorf("exec: canceled")
+			return nil, false, fmt.Errorf("exec: canceled")
 		}
 	}
 	if last && en.slotHeld {
 		<-rs.slots
 	}
 	if en.err != nil {
-		return nil, en.err
+		return nil, false, en.err
 	}
 	if en.shared {
-		return en.blk.Clone(), nil
+		return en.blk.Clone(), false, nil
 	}
-	return en.blk, nil
+	return en.blk, false, nil
 }
 
 // execEvent runs one statement instance: acquire operands (shared buffer,
@@ -643,6 +714,12 @@ func (rs *runState) execEvent(i int) error {
 	ev := tl.Events[i]
 	set := rs.pp.sets[i]
 	cover := rs.pp.cover[i]
+
+	// Pool pins acquired by this event; pins for blocks whose hold
+	// interval extends past the event transfer to interval ownership
+	// (rs.ivPins), the rest release when the event finishes.
+	evPins := newPinSet(rs.e.Pool)
+	defer evPins.releaseAll()
 
 	local := make(map[string]*blas.Matrix, len(set))
 	var kernelIn []*blas.Matrix
@@ -676,9 +753,13 @@ func (rs *runState) execEvent(i int) error {
 				}
 			case codegen.DoIO:
 				var err error
-				m, err = rs.readBlock(i, ba.Array, ba.R, ba.C, ba.Key)
+				var pinned bool
+				m, pinned, err = rs.readBlock(i, ba.Array, ba.R, ba.C, ba.Key)
 				if err != nil {
 					return err
+				}
+				if pinned {
+					evPins.add(ba.Key, ba.Array, ba.R, ba.C)
 				}
 			}
 			if _, dup := local[ba.Key]; !dup {
@@ -715,22 +796,30 @@ func (rs *runState) execEvent(i int) error {
 	rs.cpuNanos.Add(int64(time.Since(t0)))
 
 	if writeBA != nil && writeBA.Action == codegen.DoIO {
-		if err := rs.e.Store.WriteBlock(writeBA.Array, writeBA.R, writeBA.C, outBlk); err != nil {
+		pinned, err := rs.e.writeThrough(writeBA.Array, writeBA.R, writeBA.C, outBlk)
+		if err != nil {
 			return err
+		}
+		if pinned {
+			evPins.add(writeBA.Key, writeBA.Array, writeBA.R, writeBA.C)
 		}
 	}
 
 	// Retain blocks whose hold interval extends past this event; release
-	// interval references and evict fully consumed blocks.
+	// interval references and evict fully consumed blocks. Pool pins for
+	// retained blocks move to interval ownership and are released when the
+	// interval's last accessor completes.
 	rs.mu.Lock()
 	for key, m := range local {
 		if iv, ok := cover[key]; ok && i < iv.iv.End {
 			rs.buf[key] = m
+			evPins.transfer(key, rs.ivPins)
 		}
 	}
 	for _, st := range rs.pp.release[i] {
 		if st.refs--; st.refs == 0 {
 			delete(rs.buf, st.iv.Key)
+			rs.ivPins.drop(st.iv.Key, 0)
 		}
 	}
 	rs.mu.Unlock()

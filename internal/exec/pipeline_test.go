@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"riotshare/internal/blas"
+	"riotshare/internal/buffer"
 	"riotshare/internal/core"
 	"riotshare/internal/disk"
 	"riotshare/internal/ops"
@@ -50,11 +51,22 @@ func outputArrays(p *prog.Program) []string {
 	return out
 }
 
+// runConfig varies one execution of a plan in the property tests: the
+// on-disk format, the engine parallelism, and whether block I/O goes
+// through a sharing-aware buffer pool.
+type runConfig struct {
+	format   storage.Format
+	workers  int
+	prefetch int
+	memCap   int64
+	pool     bool
+}
+
 // runPlan executes one plan on fresh storage and returns the result plus
 // every persistent output array.
-func runPlan(t *testing.T, p *prog.Program, pl *core.EvaluatedPlan, workers, prefetch int, memCap int64) (Result, map[string]*blas.Matrix) {
+func runPlan(t *testing.T, p *prog.Program, pl *core.EvaluatedPlan, cfg runConfig) (Result, map[string]*blas.Matrix) {
 	t.Helper()
-	m, err := storage.NewManager(t.TempDir(), storage.FormatDAF)
+	m, err := storage.NewManager(t.TempDir(), cfg.format)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,10 +75,23 @@ func runPlan(t *testing.T, p *prog.Program, pl *core.EvaluatedPlan, workers, pre
 		t.Fatal(err)
 	}
 	fillInputs(t, p, m, 42)
-	eng := &Engine{Store: m, Model: disk.PaperModel(), MemCapBytes: memCap}
-	r, err := eng.RunOptions(pl.Timeline, Options{Workers: workers, PrefetchDepth: prefetch})
+	eng := &Engine{Store: m, Model: disk.PaperModel(), MemCapBytes: cfg.memCap}
+	var pool *buffer.Pool
+	if cfg.pool {
+		pool = buffer.NewPool(m, 0)
+		eng.Pool = pool
+	}
+	r, err := eng.RunOptions(pl.Timeline, Options{Workers: cfg.workers, PrefetchDepth: cfg.prefetch})
 	if err != nil {
-		t.Fatalf("plan %s workers=%d: %v", pl.Label, workers, err)
+		t.Fatalf("plan %s %+v: %v", pl.Label, cfg, err)
+	}
+	if pool != nil {
+		if st := pool.Stats(); st.PinnedFrames != 0 {
+			t.Fatalf("plan %s %+v: %d pool frames still pinned after the run", pl.Label, cfg, st.PinnedFrames)
+		}
+		if err := pool.Flush(); err != nil {
+			t.Fatalf("plan %s %+v: flush: %v", pl.Label, cfg, err)
+		}
 	}
 	outs := map[string]*blas.Matrix{}
 	for _, name := range outputArrays(p) {
@@ -126,10 +151,11 @@ func planSample(res *core.Result, n int) []*core.EvaluatedPlan {
 }
 
 // TestParallelMatchesSequential is the property test for the pipelined
-// engine: across the example programs and a sample of their plans, a
-// Workers=4 run must produce the same Result (ReadBytes/WriteBytes/
-// ReadReqs/WriteReqs/PeakMemoryBytes/SimulatedIOSec) and bit-identical
-// output matrices as Workers=1.
+// engine: across the example programs, a sample of their plans, and both
+// on-disk formats (DAF and LAB-tree), a Workers=4 run — with or without a
+// sharing-aware buffer pool — must produce the same Result (ReadBytes/
+// WriteBytes/ReadReqs/WriteReqs/PeakMemoryBytes/SimulatedIOSec) and
+// bit-identical output matrices as Workers=1.
 func TestParallelMatchesSequential(t *testing.T) {
 	cases := []struct {
 		name     string
@@ -150,28 +176,38 @@ func TestParallelMatchesSequential(t *testing.T) {
 		}, maxPlans: 4},
 		{name: "userop", prog: useropProgram(), maxPlans: 6},
 	}
+	formats := []storage.Format{storage.FormatDAF, storage.FormatLABTree}
 	for _, tc := range cases {
 		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			t.Parallel()
-			var res *core.Result
-			var err error
-			if tc.subsets != nil {
-				res, err = core.OptimizeSubsets(tc.prog, core.Options{BindParams: true}, tc.subsets)
-			} else {
-				res, err = core.Optimize(tc.prog, core.Options{BindParams: true})
-			}
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, pl := range planSample(res, tc.maxPlans) {
-				seq, seqOut := runPlan(t, tc.prog, pl, 1, 0, 0)
-				for _, workers := range []int{2, 4} {
-					par, parOut := runPlan(t, tc.prog, pl, workers, 0, 0)
-					assertIdentical(t, pl.Label, workers, seq, par, seqOut, parOut)
+		for _, format := range formats {
+			format := format
+			t.Run(tc.name+"/"+format.String(), func(t *testing.T) {
+				t.Parallel()
+				var res *core.Result
+				var err error
+				if tc.subsets != nil {
+					res, err = core.OptimizeSubsets(tc.prog, core.Options{BindParams: true}, tc.subsets)
+				} else {
+					res, err = core.Optimize(tc.prog, core.Options{BindParams: true})
 				}
-			}
-		})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, pl := range planSample(res, tc.maxPlans) {
+					seq, seqOut := runPlan(t, tc.prog, pl, runConfig{format: format, workers: 1})
+					for _, workers := range []int{2, 4} {
+						par, parOut := runPlan(t, tc.prog, pl, runConfig{format: format, workers: workers})
+						assertIdentical(t, pl.Label, workers, seq, par, seqOut, parOut)
+					}
+					// Pooled runs (sequential and parallel) must be
+					// indistinguishable in Result and numerics too.
+					for _, workers := range []int{1, 4} {
+						pooled, pooledOut := runPlan(t, tc.prog, pl, runConfig{format: format, workers: workers, pool: true})
+						assertIdentical(t, pl.Label+"+pool", workers, seq, pooled, seqOut, pooledOut)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the service's HTTP/JSON API:
+//
+//	POST /submit          {"program":"addmul","memCapMB":1000,...} or {"spec":{...}}
+//	                      → 202 {"id":"q1","state":"queued"}
+//	GET  /status?id=q1    → QueryStatus
+//	GET  /results?id=q1   → final QueryStatus; blocks until done with ?wait=1,
+//	                        409 while the query is still queued/running otherwise
+//	GET  /queries         → every query, submission order
+//	GET  /stats           → Stats (pool hit rates, physical I/O, admission, plan cache)
+//	GET  /healthz         → 200 ok
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/results", s.handleResults)
+	mux.HandleFunc("/queries", s.handleQueries)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	id, err := s.Submit(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.URL.Query().Get("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if r.URL.Query().Get("wait") != "" {
+		st, err := s.Wait(id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	st, err := s.Status(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if st.State != StateDone && st.State != StateFailed {
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// ListenAndServe runs the HTTP API on addr until ctx is canceled, then
+// shuts down gracefully: in-flight HTTP requests drain, queued queries fail
+// fast, running queries finish, and the pool flushes before storage closes.
+func ListenAndServe(ctx context.Context, addr string, cfg Config) error {
+	srv, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil {
+		srv.Close()
+		return err
+	}
+	return srv.Close()
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"riotshare/internal/prog"
+)
+
+func newHTTPServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		Dir:      t.TempDir(),
+		Seed:     testSeed,
+		Programs: map[string]func() *prog.Program{"addmul-small": smallAddMul},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func TestHTTPSubmitStatusResultsStats(t *testing.T) {
+	_, ts := newHTTPServer(t)
+
+	body, _ := json.Marshal(Request{Program: "addmul-small"})
+	resp, err := http.Post(ts.URL+"/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var sub struct{ ID, State string }
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.ID == "" {
+		t.Fatal("no query id returned")
+	}
+
+	// Blocking results fetch.
+	resp, err = http.Get(ts.URL + "/results?wait=1&id=" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results status = %d", resp.StatusCode)
+	}
+	var st QueryStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != StateDone {
+		t.Fatalf("state = %s, err %q", st.State, st.Err)
+	}
+	if st.Result == nil || st.Result.ReadReqs == 0 {
+		t.Fatalf("result missing or empty: %+v", st.Result)
+	}
+	if len(st.Outputs) == 0 {
+		t.Fatal("no output summaries")
+	}
+
+	// Status endpoint agrees.
+	resp, err = http.Get(ts.URL + "/status?id=" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 QueryStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st2.State != StateDone {
+		t.Fatalf("status endpoint state = %s", st2.State)
+	}
+
+	// Stats reflect the run.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Finished != 1 || stats.Store.ReadReqs == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Queries listing.
+	resp, err = http.Get(ts.URL + "/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []QueryStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].ID != sub.ID {
+		t.Fatalf("queries = %+v", list)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newHTTPServer(t)
+
+	// Unknown program → 400.
+	body, _ := json.Marshal(Request{Program: "nope"})
+	resp, err := http.Post(ts.URL+"/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown program status = %d", resp.StatusCode)
+	}
+
+	// Unknown query → 404.
+	resp, err = http.Get(ts.URL + "/status?id=q999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown query status = %d", resp.StatusCode)
+	}
+
+	// GET on /submit → 405.
+	resp, err = http.Get(ts.URL + "/submit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /submit status = %d", resp.StatusCode)
+	}
+}

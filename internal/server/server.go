@@ -1,0 +1,857 @@
+// Package server is the multi-query analytics service: a session and
+// admission layer that accepts program submissions (named benchmark
+// programs or statement-builder JSON specs), optimizes them through a plan
+// cache, admits up to K concurrent executions whose combined peak memory
+// fits a global cap, and runs them over one shared, sharing-aware buffer
+// pool — so a block read by one query is a cache hit for the next. It turns
+// the single-shot optimizer into a long-running service, extending the
+// paper's intra-program I/O sharing across concurrent queries.
+//
+// Input arrays (arrays a program never writes) are shared across queries by
+// name: the first query to reference one creates and fills it, later
+// queries — and concurrent ones — read the very same blocks through the
+// pool. Written arrays are namespaced per query ("q3.E"), so concurrent
+// executions of the same program cannot collide, while their ExecResults
+// stay identical to standalone sequential runs.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"riotshare/internal/bench"
+	"riotshare/internal/blas"
+	"riotshare/internal/buffer"
+	"riotshare/internal/core"
+	"riotshare/internal/disk"
+	"riotshare/internal/exec"
+	"riotshare/internal/prog"
+	"riotshare/internal/storage"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Dir hosts the physical block files (required).
+	Dir string
+	// Format selects the on-disk block format (default DAF).
+	Format storage.Format
+	// PoolBytes is the shared buffer pool's soft capacity (0 = unlimited).
+	PoolBytes int64
+	// MaxConcurrent is K, the number of concurrently executing queries
+	// (default 2).
+	MaxConcurrent int
+	// GlobalMemBytes caps the combined peak (logical) memory of admitted
+	// plans (0 = unlimited). A query whose plan alone exceeds it fails at
+	// admission rather than starving the queue.
+	GlobalMemBytes int64
+	// Workers/PrefetchDepth default each query to the pipelined engine
+	// configuration (Workers <= 1 = sequential interpreter); a Request may
+	// override them.
+	Workers       int
+	PrefetchDepth int
+	// Seed drives the deterministic synthetic fill of shared input arrays.
+	Seed int64
+	// RetainOutputs bounds how many finished queries keep their output
+	// arrays on disk for later retrieval (each open output store holds a
+	// file descriptor, so an unbounded server would exhaust the process
+	// limit). Oldest outputs are dropped first; their result summaries
+	// remain. 0 = default (64), < 0 = unlimited.
+	RetainOutputs int
+	// FullSearch enables the full linreg plan-space search (minutes);
+	// default uses the paper's selected plans.
+	FullSearch bool
+	// Programs registers extra named programs next to the built-in
+	// benchmark set (addmul, twomm-a, twomm-b, linreg).
+	Programs map[string]func() *prog.Program
+}
+
+// Request is one program submission.
+type Request struct {
+	// Program names a registered program, or Spec carries a
+	// statement-builder JSON program; exactly one must be set.
+	Program string       `json:"program,omitempty"`
+	Spec    *ProgramSpec `json:"spec,omitempty"`
+	// MemCapMB bounds the chosen plan's peak (logical) memory and is
+	// enforced during execution (0 = unlimited: the cheapest plan wins).
+	MemCapMB int64 `json:"memCapMB,omitempty"`
+	// Plan forces a plan index from the optimizer's table (nil = cheapest
+	// plan fitting MemCapMB).
+	Plan *int `json:"plan,omitempty"`
+	// Workers/Prefetch override the server's execution defaults when > 0.
+	Workers  int `json:"workers,omitempty"`
+	Prefetch int `json:"prefetch,omitempty"`
+}
+
+// State is a query's lifecycle phase.
+type State string
+
+// Query lifecycle states.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// OutputInfo summarizes one persistent output array of a finished query.
+type OutputInfo struct {
+	// Array is the program's name for the output; Physical is the
+	// namespaced on-disk array ("q3.E") it was written to.
+	Array    string  `json:"array"`
+	Physical string  `json:"physical"`
+	Rows     int     `json:"rows"`
+	Cols     int     `json:"cols"`
+	Sum      float64 `json:"sum"` // element sum, a cheap cross-check
+}
+
+// QueryStatus is a point-in-time snapshot of one query.
+type QueryStatus struct {
+	ID        string       `json:"id"`
+	Program   string       `json:"program"`
+	State     State        `json:"state"`
+	PlanIndex int          `json:"planIndex"`
+	PlanLabel string       `json:"planLabel"`
+	Submitted time.Time    `json:"submitted"`
+	Started   time.Time    `json:"started,omitempty"`
+	Finished  time.Time    `json:"finished,omitempty"`
+	Result    *exec.Result `json:"result,omitempty"`
+	Outputs   []OutputInfo `json:"outputs,omitempty"`
+	Err       string       `json:"error,omitempty"`
+}
+
+// query is the server-side record.
+type query struct {
+	id      string
+	req     Request
+	prog    *prog.Program
+	subsets [][]string // restricted plan search, when the program wants one
+
+	// alias maps the program's written arrays to their namespaced
+	// physical stores; outputsDropped marks that those stores were
+	// retired (failure cleanup or the RetainOutputs policy).
+	alias          map[string]string
+	outputsDropped bool
+
+	status QueryStatus
+	done   chan struct{}
+}
+
+// Stats reports service-wide counters: the shared pool, physical storage
+// I/O, admission, and the plan cache.
+type Stats struct {
+	Pool  buffer.Stats  `json:"pool"`
+	Store storage.Stats `json:"store"`
+
+	Running   int   `json:"running"`
+	Queued    int   `json:"queued"`
+	Submitted int64 `json:"submitted"`
+	Finished  int64 `json:"finished"`
+
+	PlanCacheHits   int64 `json:"planCacheHits"`
+	PlanCacheMisses int64 `json:"planCacheMisses"`
+}
+
+// Server is the multi-query analytics service.
+type Server struct {
+	cfg   Config
+	store *storage.Manager
+	pool  *buffer.Pool
+
+	mu        sync.Mutex
+	queries   map[string]*query
+	order     []string
+	retained  []*query // finished queries with outputs still on disk
+	nextID    int
+	closed    bool
+	submitted int64
+	finished  int64
+	wg        sync.WaitGroup
+
+	planMu     sync.Mutex
+	planCache  map[string]*planEntry
+	planHits   int64
+	planMisses int64
+
+	adm *admission
+
+	inputMu sync.Mutex
+	inputs  map[string]*inputState
+}
+
+type planEntry struct {
+	ready chan struct{}
+	res   *core.Result
+	err   error
+}
+
+type inputState struct {
+	ready chan struct{}
+	arr   *prog.Array
+	err   error
+}
+
+// New creates a service with its shared storage manager and buffer pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("server: Config.Dir required")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	m, err := storage.NewManager(cfg.Dir, cfg.Format)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:       cfg,
+		store:     m,
+		pool:      buffer.NewPool(m, cfg.PoolBytes),
+		queries:   make(map[string]*query),
+		planCache: make(map[string]*planEntry),
+		adm:       newAdmission(cfg.MaxConcurrent, cfg.GlobalMemBytes),
+		inputs:    make(map[string]*inputState),
+	}, nil
+}
+
+// Pool exposes the shared buffer pool (read-mostly: stats, flush).
+func (s *Server) Pool() *buffer.Pool { return s.pool }
+
+// Store exposes the shared storage manager.
+func (s *Server) Store() *storage.Manager { return s.store }
+
+// Submit validates and enqueues a request, returning the query ID. The
+// query runs asynchronously; use Wait, Status, or the HTTP API to follow
+// it.
+func (s *Server) Submit(req Request) (string, error) {
+	if (req.Program == "") == (req.Spec == nil) {
+		return "", errors.New("server: exactly one of Program or Spec must be set")
+	}
+	p, subsets, err := s.resolve(req)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", errors.New("server: closed")
+	}
+	s.nextID++
+	q := &query{
+		id:      fmt.Sprintf("q%d", s.nextID),
+		req:     req,
+		prog:    p,
+		subsets: subsets,
+		done:    make(chan struct{}),
+	}
+	q.status = QueryStatus{
+		ID:        q.id,
+		Program:   p.Name,
+		State:     StateQueued,
+		PlanIndex: -1,
+		Submitted: time.Now(),
+	}
+	s.queries[q.id] = q
+	s.order = append(s.order, q.id)
+	s.submitted++
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.run(q)
+	return q.id, nil
+}
+
+// named programs: the paper's benchmark set. linreg's full plan space is
+// ~16k combinations, so unless FullSearch is set its optimization is
+// restricted to the paper's selected plans (like cmd/riotshare).
+func (s *Server) resolve(req Request) (*prog.Program, [][]string, error) {
+	if req.Spec != nil {
+		p, err := req.Spec.Build()
+		return p, nil, err
+	}
+	if build, ok := s.cfg.Programs[req.Program]; ok {
+		return build(), nil, nil
+	}
+	switch req.Program {
+	case "addmul":
+		return bench.AddMulPaper(), nil, nil
+	case "twomm-a":
+		return bench.TwoMMPaperA(), nil, nil
+	case "twomm-b":
+		return bench.TwoMMPaperB(), nil, nil
+	case "linreg":
+		if s.cfg.FullSearch {
+			return bench.LinRegPaper(), nil, nil
+		}
+		return bench.LinRegPaper(), bench.LinRegSelectedPlans(), nil
+	default:
+		return nil, nil, fmt.Errorf("server: unknown program %q (addmul, twomm-a, twomm-b, linreg%s)",
+			req.Program, s.extraProgramNames())
+	}
+}
+
+func (s *Server) extraProgramNames() string {
+	if len(s.cfg.Programs) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(s.cfg.Programs))
+	for n := range s.cfg.Programs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		out += ", " + n
+	}
+	return out
+}
+
+// plans optimizes through the plan cache. The cache key ignores per-query
+// memory caps: plan selection against a cap happens on the cached table.
+func (s *Server) plans(req Request, p *prog.Program, subsets [][]string) (*core.Result, error) {
+	key := "prog:" + req.Program
+	if req.Spec != nil {
+		key = req.Spec.cacheKey()
+	}
+	s.planMu.Lock()
+	if e, ok := s.planCache[key]; ok {
+		s.planHits++
+		s.planMu.Unlock()
+		<-e.ready
+		return e.res, e.err
+	}
+	e := &planEntry{ready: make(chan struct{})}
+	s.planCache[key] = e
+	s.planMisses++
+	s.planMu.Unlock()
+
+	if subsets != nil {
+		e.res, e.err = core.OptimizeSubsets(p, core.Options{BindParams: true}, subsets)
+	} else {
+		e.res, e.err = core.Optimize(p, core.Options{BindParams: true})
+	}
+	close(e.ready)
+	return e.res, e.err
+}
+
+// selectPlan picks the forced plan index or the cheapest plan whose peak
+// memory fits the per-query cap.
+func selectPlan(res *core.Result, req Request) (*core.EvaluatedPlan, error) {
+	if req.Plan != nil {
+		i := *req.Plan
+		if i < 0 || i >= len(res.Plans) {
+			return nil, fmt.Errorf("server: plan %d out of range (%d plans)", i, len(res.Plans))
+		}
+		return &res.Plans[i], nil
+	}
+	cap := req.MemCapMB << 20
+	for i := range res.Plans {
+		if cap == 0 || res.Plans[i].Cost.PeakMemoryBytes <= cap {
+			return &res.Plans[i], nil
+		}
+	}
+	return nil, fmt.Errorf("server: no plan fits the %dMB memory cap", req.MemCapMB)
+}
+
+// run drives one query through optimize → admit → execute → publish, then
+// enforces the output-retention bound.
+func (s *Server) run(q *query) {
+	defer s.wg.Done()
+	err := s.runQuery(q)
+	limit := s.cfg.RetainOutputs
+	if limit == 0 {
+		limit = 64
+	}
+	var victims []*query
+	s.mu.Lock()
+	q.status.Finished = time.Now()
+	if err != nil {
+		q.status.State = StateFailed
+		q.status.Err = err.Error()
+	} else {
+		q.status.State = StateDone
+		if len(q.alias) > 0 {
+			s.retained = append(s.retained, q)
+		}
+	}
+	if limit > 0 {
+		for len(s.retained) > limit {
+			victims = append(victims, s.retained[0])
+			s.retained = s.retained[1:]
+		}
+	}
+	s.finished++
+	s.mu.Unlock()
+	for _, v := range victims {
+		s.dropOutputs(v)
+	}
+	close(q.done)
+}
+
+// dropOutputs retires a query's private output arrays: pool frames are
+// discarded without write-back and the on-disk stores are closed and
+// deleted. Result summaries survive; Output() for the query then errors.
+func (s *Server) dropOutputs(q *query) {
+	s.mu.Lock()
+	if q.outputsDropped {
+		s.mu.Unlock()
+		return
+	}
+	q.outputsDropped = true
+	alias := q.alias
+	s.mu.Unlock()
+	for _, phys := range alias {
+		s.pool.DiscardArray(phys)
+		// Best effort: a failed Create may have registered nothing.
+		_ = s.store.Drop(phys, true)
+	}
+}
+
+func (s *Server) runQuery(q *query) error {
+	res, err := s.plans(q.req, q.prog, q.subsets)
+	if err != nil {
+		return err
+	}
+	pl, err := selectPlan(res, q.req)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	q.status.PlanIndex = pl.Index
+	q.status.PlanLabel = pl.Label
+	s.mu.Unlock()
+
+	peak := pl.Cost.PeakMemoryBytes
+	if err := s.adm.admit(peak); err != nil {
+		return err
+	}
+	defer s.adm.release(peak)
+
+	s.mu.Lock()
+	q.status.State = StateRunning
+	q.status.Started = time.Now()
+	s.mu.Unlock()
+
+	alias, err := s.prepareArrays(q)
+	s.mu.Lock()
+	q.alias = alias
+	s.mu.Unlock()
+	if err != nil {
+		s.dropOutputs(q)
+		return err
+	}
+	workers, prefetch := s.cfg.Workers, s.cfg.PrefetchDepth
+	if q.req.Workers > 0 {
+		workers = q.req.Workers
+	}
+	if q.req.Prefetch > 0 {
+		prefetch = q.req.Prefetch
+	}
+	eng := &exec.Engine{
+		Store:       s.store,
+		Model:       disk.PaperModel(),
+		MemCapBytes: q.req.MemCapMB << 20,
+		Pool:        s.pool.Session(alias),
+	}
+	r, err := eng.RunOptions(pl.Timeline, exec.Options{Workers: workers, PrefetchDepth: prefetch})
+	if err != nil {
+		s.dropOutputs(q) // partial outputs are garbage; reclaim frames + stores
+		return err
+	}
+	// Make this query's outputs durable and retire their private frames so
+	// they stop competing with shared inputs for pool capacity. Targeted
+	// invalidation only: a global flush would write back other running
+	// queries' dirty accumulator frames and stall them on the pool lock.
+	for _, phys := range alias {
+		if err := s.pool.InvalidateArray(phys); err != nil {
+			s.dropOutputs(q)
+			return err
+		}
+	}
+	outs, err := s.collectOutputs(q, alias)
+	if err != nil {
+		s.dropOutputs(q)
+		return err
+	}
+	s.mu.Lock()
+	q.status.Result = &r
+	q.status.Outputs = outs
+	s.mu.Unlock()
+	return nil
+}
+
+// prepareArrays registers the query's arrays with the shared manager:
+// inputs (never written by the program) are shared by name and filled
+// deterministically once; written arrays get private namespaced stores and
+// an alias entry for the query's pool session.
+func (s *Server) prepareArrays(q *query) (map[string]string, error) {
+	p := q.prog
+	written := map[string]bool{}
+	for _, st := range p.Stmts {
+		if w := st.WriteAccess(); w != nil {
+			written[w.Array] = true
+		}
+	}
+	// Sort for deterministic registration order.
+	names := make([]string, 0, len(p.Arrays))
+	for name := range p.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// alias is returned even on error so the caller can retire whatever
+	// was already created.
+	alias := make(map[string]string)
+	for _, name := range names {
+		arr := p.Arrays[name]
+		if !written[name] {
+			if err := s.ensureInput(arr); err != nil {
+				return alias, err
+			}
+			continue
+		}
+		phys := q.id + "." + name
+		clone := *arr
+		clone.Name = phys
+		if err := s.store.Create(&clone); err != nil {
+			return alias, err
+		}
+		alias[name] = phys
+	}
+	return alias, nil
+}
+
+// ensureInput creates and fills a shared input array exactly once; later
+// queries wait for the fill and verify shape compatibility.
+func (s *Server) ensureInput(arr *prog.Array) error {
+	s.inputMu.Lock()
+	if st, ok := s.inputs[arr.Name]; ok {
+		s.inputMu.Unlock()
+		<-st.ready
+		if st.err != nil {
+			return fmt.Errorf("server: shared input %s: %w", arr.Name, st.err)
+		}
+		if !sameShape(st.arr, arr) {
+			return fmt.Errorf("server: input array %q conflicts with an already-registered array of different shape (%dx%d blocks in %dx%d vs %dx%d in %dx%d)",
+				arr.Name, arr.BlockRows, arr.BlockCols, arr.GridRows, arr.GridCols,
+				st.arr.BlockRows, st.arr.BlockCols, st.arr.GridRows, st.arr.GridCols)
+		}
+		return nil
+	}
+	st := &inputState{ready: make(chan struct{}), arr: arr}
+	s.inputs[arr.Name] = st
+	s.inputMu.Unlock()
+	st.err = func() error {
+		if err := s.store.Create(arr); err != nil {
+			return err
+		}
+		return FillInput(s.store, arr, s.cfg.Seed)
+	}()
+	if st.err != nil {
+		// Do not poison the input name for the daemon's lifetime: retire
+		// the half-created store and let a later query retry the fill.
+		s.inputMu.Lock()
+		delete(s.inputs, arr.Name)
+		s.inputMu.Unlock()
+		_ = s.store.Drop(arr.Name, true) // best effort; Create may not have registered it
+	}
+	close(st.ready)
+	if st.err != nil {
+		return fmt.Errorf("server: shared input %s: %w", arr.Name, st.err)
+	}
+	return nil
+}
+
+func sameShape(a, b *prog.Array) bool {
+	return a.BlockRows == b.BlockRows && a.BlockCols == b.BlockCols &&
+		a.GridRows == b.GridRows && a.GridCols == b.GridCols
+}
+
+// FillInput writes deterministic pseudo-random blocks for one input array.
+// The sequence depends only on (seed, array name), so any process — the
+// server or a standalone run validating it — produces identical data.
+func FillInput(m *storage.Manager, arr *prog.Array, seed int64) error {
+	h := fnv.New64a()
+	h.Write([]byte(arr.Name))
+	rng := rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+	for bc := 0; bc < arr.GridCols; bc++ {
+		for br := 0; br < arr.GridRows; br++ {
+			blk := blas.NewMatrix(arr.BlockRows, arr.BlockCols)
+			for i := range blk.Data {
+				blk.Data[i] = rng.NormFloat64()
+			}
+			if err := m.WriteBlock(arr.Name, int64(br), int64(bc), blk); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// collectOutputs reads back the query's persistent outputs and summarizes
+// them.
+func (s *Server) collectOutputs(q *query, alias map[string]string) ([]OutputInfo, error) {
+	names := make([]string, 0, len(alias))
+	for name := range alias {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var outs []OutputInfo
+	for _, name := range names {
+		arr := q.prog.Arrays[name]
+		if arr == nil || arr.Transient {
+			continue
+		}
+		full, err := readFullArray(s.store, arr, alias[name])
+		if err != nil {
+			return nil, err
+		}
+		sum := 0.0
+		for _, v := range full.Data {
+			sum += v
+		}
+		outs = append(outs, OutputInfo{
+			Array: name, Physical: alias[name],
+			Rows: full.Rows, Cols: full.Cols, Sum: sum,
+		})
+	}
+	return outs, nil
+}
+
+// readFullArray assembles a stored array (under its physical name) into
+// one matrix.
+func readFullArray(m *storage.Manager, arr *prog.Array, phys string) (*blas.Matrix, error) {
+	full := blas.NewMatrix(arr.BlockRows*arr.GridRows, arr.BlockCols*arr.GridCols)
+	for br := 0; br < arr.GridRows; br++ {
+		for bc := 0; bc < arr.GridCols; bc++ {
+			blk, err := m.ReadBlock(phys, int64(br), int64(bc))
+			if err != nil {
+				return nil, err
+			}
+			for r := 0; r < arr.BlockRows; r++ {
+				for c := 0; c < arr.BlockCols; c++ {
+					full.Set(br*arr.BlockRows+r, bc*arr.BlockCols+c, blk.At(r, c))
+				}
+			}
+		}
+	}
+	return full, nil
+}
+
+// Output assembles one persistent output array of a finished query.
+func (s *Server) Output(id, array string) (*blas.Matrix, error) {
+	s.mu.Lock()
+	q, ok := s.queries[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server: unknown query %q", id)
+	}
+	<-q.done
+	s.mu.Lock()
+	dropped := q.outputsDropped
+	var phys string
+	for _, o := range q.status.Outputs {
+		if o.Array == array {
+			phys = o.Physical
+		}
+	}
+	s.mu.Unlock()
+	if dropped {
+		return nil, fmt.Errorf("server: query %s outputs were retired (RetainOutputs policy)", id)
+	}
+	if phys == "" {
+		return nil, fmt.Errorf("server: query %s has no output array %q", id, array)
+	}
+	return readFullArray(s.store, q.prog.Arrays[array], phys)
+}
+
+// Status snapshots one query.
+func (s *Server) Status(id string) (QueryStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[id]
+	if !ok {
+		return QueryStatus{}, fmt.Errorf("server: unknown query %q", id)
+	}
+	return q.statusCopy(), nil
+}
+
+func (q *query) statusCopy() QueryStatus {
+	st := q.status
+	if st.Result != nil {
+		r := *st.Result
+		st.Result = &r
+	}
+	st.Outputs = append([]OutputInfo(nil), q.status.Outputs...)
+	return st
+}
+
+// Wait blocks until the query finishes and returns its final status.
+func (s *Server) Wait(id string) (QueryStatus, error) {
+	s.mu.Lock()
+	q, ok := s.queries[id]
+	s.mu.Unlock()
+	if !ok {
+		return QueryStatus{}, fmt.Errorf("server: unknown query %q", id)
+	}
+	<-q.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return q.statusCopy(), nil
+}
+
+// List snapshots every query in submission order.
+func (s *Server) List() []QueryStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QueryStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.queries[id].statusCopy())
+	}
+	return out
+}
+
+// Stats snapshots service-wide counters.
+func (s *Server) Stats() Stats {
+	running, queued := s.adm.load()
+	s.mu.Lock()
+	submitted, finished := s.submitted, s.finished
+	s.mu.Unlock()
+	s.planMu.Lock()
+	hits, misses := s.planHits, s.planMisses
+	s.planMu.Unlock()
+	return Stats{
+		Pool:            s.pool.Stats(),
+		Store:           s.store.Stats(),
+		Running:         running,
+		Queued:          queued,
+		Submitted:       submitted,
+		Finished:        finished,
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+	}
+}
+
+// Close stops accepting submissions, fails queries still waiting for
+// admission, waits for running queries to finish, flushes the pool and
+// closes storage.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.adm.close()
+	s.wg.Wait()
+	err := s.pool.Flush()
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// admission is the K-way, memory-capped FIFO admission controller.
+type admission struct {
+	mu      sync.Mutex
+	k       int
+	memCap  int64
+	running int
+	memUse  int64
+	queue   []*admitWaiter
+	closed  chan struct{}
+}
+
+type admitWaiter struct {
+	peak  int64
+	ready chan struct{}
+}
+
+func newAdmission(k int, memCap int64) *admission {
+	return &admission{k: k, memCap: memCap, closed: make(chan struct{})}
+}
+
+func (a *admission) fits(peak int64) bool {
+	return a.running < a.k && (a.memCap <= 0 || a.memUse+peak <= a.memCap)
+}
+
+// admit blocks until the query fits (FIFO: later arrivals never overtake a
+// waiting head, so big plans cannot starve).
+func (a *admission) admit(peak int64) error {
+	select {
+	case <-a.closed:
+		return errors.New("server: closed")
+	default:
+	}
+	if a.memCap > 0 && peak > a.memCap {
+		return fmt.Errorf("server: plan peak memory %d bytes exceeds the global cap %d", peak, a.memCap)
+	}
+	a.mu.Lock()
+	if len(a.queue) == 0 && a.fits(peak) {
+		a.running++
+		a.memUse += peak
+		a.mu.Unlock()
+		return nil
+	}
+	w := &admitWaiter{peak: peak, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+	select {
+	case <-w.ready:
+		return nil
+	case <-a.closed:
+		a.mu.Lock()
+		for i, qw := range a.queue {
+			if qw == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				break
+			}
+		}
+		// The close may have raced an admission grant.
+		select {
+		case <-w.ready:
+			a.mu.Unlock()
+			return nil
+		default:
+		}
+		a.mu.Unlock()
+		return errors.New("server: closed")
+	}
+}
+
+// release returns a query's admission slot and wakes fitting FIFO heads.
+func (a *admission) release(peak int64) {
+	a.mu.Lock()
+	a.running--
+	a.memUse -= peak
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		if !a.fits(w.peak) {
+			break
+		}
+		a.queue = a.queue[1:]
+		a.running++
+		a.memUse += w.peak
+		close(w.ready)
+	}
+	a.mu.Unlock()
+}
+
+func (a *admission) load() (running, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running, len(a.queue)
+}
+
+func (a *admission) close() {
+	a.mu.Lock()
+	select {
+	case <-a.closed:
+	default:
+		close(a.closed)
+	}
+	a.mu.Unlock()
+}

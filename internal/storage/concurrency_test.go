@@ -3,6 +3,7 @@ package storage
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"riotshare/internal/blas"
 	"riotshare/internal/prog"
@@ -87,53 +88,111 @@ func TestConcurrentReadWrite(t *testing.T) {
 	}
 }
 
-// Coalesced concurrent reads of one block all see the stored data.
+// Coalesced concurrent reads of one block all see the stored data, on both
+// on-disk formats.
 func TestCoalescedReadsShareOneRequest(t *testing.T) {
+	for _, format := range []Format{FormatDAF, FormatLABTree} {
+		t.Run(format.String(), func(t *testing.T) {
+			m, err := NewManager(t.TempDir(), format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			arr := &prog.Array{Name: "B", BlockRows: 8, BlockCols: 8, GridRows: 1, GridCols: 1}
+			if err := m.Create(arr); err != nil {
+				t.Fatal(err)
+			}
+			blk := blas.NewMatrix(8, 8)
+			for i := range blk.Data {
+				blk.Data[i] = float64(i)
+			}
+			if err := m.WriteBlock("B", 0, 0, blk); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			results := make([]*blas.Matrix, 32)
+			for g := range results {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					got, err := m.ReadBlock("B", 0, 0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					results[g] = got
+				}()
+			}
+			wg.Wait()
+			seen := map[*blas.Matrix]bool{}
+			for g, got := range results {
+				if got == nil {
+					t.Fatal("missing result")
+				}
+				if seen[got] {
+					t.Fatal("two readers received the same matrix object")
+				}
+				seen[got] = true
+				for i := range got.Data {
+					if got.Data[i] != float64(i) {
+						t.Fatalf("reader %d: data[%d] = %g, want %d", g, i, got.Data[i], i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The physical I/O counters must account exactly for the requests that
+// reach a store: coalesced followers share the leader's read.
+func TestStatsCountPhysicalRequests(t *testing.T) {
 	m, err := NewManager(t.TempDir(), FormatDAF)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	arr := &prog.Array{Name: "B", BlockRows: 8, BlockCols: 8, GridRows: 1, GridCols: 1}
+	arr := &prog.Array{Name: "S", BlockRows: 4, BlockCols: 4, GridRows: 2, GridCols: 1}
 	if err := m.Create(arr); err != nil {
 		t.Fatal(err)
 	}
-	blk := blas.NewMatrix(8, 8)
-	for i := range blk.Data {
-		blk.Data[i] = float64(i)
-	}
-	if err := m.WriteBlock("B", 0, 0, blk); err != nil {
+	blk := blas.NewMatrix(4, 4)
+	if err := m.WriteBlock("S", 0, 0, blk); err != nil {
 		t.Fatal(err)
 	}
+	if err := m.WriteBlock("S", 1, 0, blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadBlock("S", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadBlock("S", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	want := Stats{ReadReqs: 2, ReadBytes: 2 * 4 * 4 * 8, WriteReqs: 2, WriteBytes: 2 * 4 * 4 * 8}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+	// Coalesced concurrent readers must count one physical request. Use
+	// simulated latency to widen the coalescing window.
+	m.ReadLatency = 50 * time.Millisecond
 	var wg sync.WaitGroup
-	results := make([]*blas.Matrix, 32)
-	for g := range results {
-		g := g
+	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got, err := m.ReadBlock("B", 0, 0)
-			if err != nil {
+			if _, err := m.ReadBlock("S", 1, 0); err != nil {
 				t.Error(err)
-				return
 			}
-			results[g] = got
 		}()
 	}
 	wg.Wait()
-	seen := map[*blas.Matrix]bool{}
-	for g, got := range results {
-		if got == nil {
-			t.Fatal("missing result")
-		}
-		if seen[got] {
-			t.Fatal("two readers received the same matrix object")
-		}
-		seen[got] = true
-		for i := range got.Data {
-			if got.Data[i] != float64(i) {
-				t.Fatalf("reader %d: data[%d] = %g, want %d", g, i, got.Data[i], i)
-			}
-		}
+	// Typically exactly one more request (all 8 coalesce onto one leader),
+	// but a goroutine delayed past the leader's 50ms window legitimately
+	// becomes a second leader on a loaded runner — assert the property
+	// (some coalescing happened), not the timing cliff.
+	if got := m.Stats().ReadReqs; got < 3 || got >= 2+8 {
+		t.Fatalf("after coalesced reads: ReadReqs = %d, want in [3,9] with coalescing", got)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"riotshare/internal/blas"
@@ -168,6 +169,32 @@ type Manager struct {
 	// physical read never distorts the paper-scale volumes.
 	inflightMu sync.Mutex
 	inflight   map[string]*inflightRead
+
+	// Physical I/O counters (atomic): requests that actually reached a
+	// block store. Coalesced read followers and buffer-pool hits do not
+	// count, which is exactly what lets callers verify cross-query sharing
+	// against logical volumes.
+	physReadReqs, physReadBytes   atomic.Int64
+	physWriteReqs, physWriteBytes atomic.Int64
+}
+
+// Stats is a snapshot of the manager's physical I/O counters.
+type Stats struct {
+	ReadReqs, ReadBytes   int64
+	WriteReqs, WriteBytes int64
+}
+
+// Stats returns the physical I/O performed since the manager was created:
+// block requests that reached the underlying store, in physical (stored)
+// bytes. Compare against the executor's logical volumes to measure how much
+// I/O was absorbed by read coalescing and the shared buffer pool.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		ReadReqs:   m.physReadReqs.Load(),
+		ReadBytes:  m.physReadBytes.Load(),
+		WriteReqs:  m.physWriteReqs.Load(),
+		WriteBytes: m.physWriteBytes.Load(),
+	}
 }
 
 // inflightRead is one in-progress coalesced block read.
@@ -248,7 +275,12 @@ func (m *Manager) WriteBlock(array string, r, c int64, blk *blas.Matrix) error {
 	for i, v := range blk.Data {
 		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
 	}
-	return st.Write(m.Linearize(r, c, arr.GridRows, arr.GridCols), buf)
+	if err := st.Write(m.Linearize(r, c, arr.GridRows, arr.GridCols), buf); err != nil {
+		return err
+	}
+	m.physWriteReqs.Add(1)
+	m.physWriteBytes.Add(int64(len(buf)))
+	return nil
 }
 
 // ReadBlock fetches and deserializes one block. Concurrent reads of the
@@ -299,6 +331,8 @@ func (m *Manager) readBlock(array string, r, c int64) (*blas.Matrix, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: read %s[%d,%d]: %w", array, r, c, err)
 	}
+	m.physReadReqs.Add(1)
+	m.physReadBytes.Add(int64(len(buf)))
 	blk := blas.NewMatrix(arr.BlockRows, arr.BlockCols)
 	if want := 8 * len(blk.Data); len(buf) != want {
 		return nil, fmt.Errorf("storage: %s[%d,%d] payload %d bytes, want %d", array, r, c, len(buf), want)
@@ -321,6 +355,28 @@ func (m *Manager) lookup(array string) (*prog.Array, BlockStore, error) {
 		return nil, nil, fmt.Errorf("storage: unknown array %q", array)
 	}
 	return arr, m.stores[array], nil
+}
+
+// Drop closes and unregisters one array's store, optionally deleting its
+// file. Long-running services use it to retire per-query output arrays —
+// each open store holds a file descriptor, so a server that never dropped
+// them would exhaust the process limit.
+func (m *Manager) Drop(array string, deleteFile bool) error {
+	m.mu.Lock()
+	st, ok := m.stores[array]
+	delete(m.stores, array)
+	delete(m.arrays, array)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("storage: unknown array %q", array)
+	}
+	err := st.Close()
+	if deleteFile {
+		if rerr := os.Remove(filepath.Join(m.Dir, array+"."+m.Format.String())); err == nil && rerr != nil {
+			err = rerr
+		}
+	}
+	return err
 }
 
 // Close closes every store.

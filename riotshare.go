@@ -35,6 +35,9 @@
 package riotshare
 
 import (
+	"context"
+
+	"riotshare/internal/buffer"
 	"riotshare/internal/codegen"
 	"riotshare/internal/core"
 	"riotshare/internal/deps"
@@ -42,6 +45,7 @@ import (
 	"riotshare/internal/exec"
 	"riotshare/internal/ops"
 	"riotshare/internal/prog"
+	"riotshare/internal/server"
 	"riotshare/internal/storage"
 )
 
@@ -209,3 +213,64 @@ func ExecuteOptions(pl *EvaluatedPlan, store *Storage, model DiskModel, memCapBy
 
 // Pseudocode renders a plan's recovered loop nest (§5.5-style output).
 func Pseudocode(pl *EvaluatedPlan) string { return pl.Timeline.Pseudocode() }
+
+// StorageStats snapshots a manager's physical I/O counters (requests and
+// bytes that actually reached a block store; buffer-pool hits and coalesced
+// reads do not count).
+type StorageStats = storage.Stats
+
+// BufferPool is the capacity-bounded, sharing-aware block cache in front
+// of a storage manager: ref-counted pins driven by each plan's hold
+// intervals, LRU eviction of unpinned blocks, deferred dirty write-back,
+// and hit/miss/eviction statistics. Share one pool across concurrent
+// executions (via ExecOptions.Pool or the multi-query server) so a block
+// read by one query is a cache hit for the next.
+type BufferPool = buffer.Pool
+
+// BufferPoolStats snapshots a pool's counters.
+type BufferPoolStats = buffer.Stats
+
+// BlockPool is the acquisition interface the execution engines use;
+// *BufferPool and its aliasing sessions implement it.
+type BlockPool = exec.BlockPool
+
+// NewBufferPool creates a pool over the manager with the given soft
+// capacity in bytes (<= 0 = unlimited).
+func NewBufferPool(store *Storage, capacityBytes int64) *BufferPool {
+	return buffer.NewPool(store, capacityBytes)
+}
+
+// ServerConfig sizes the multi-query analytics service.
+type ServerConfig = server.Config
+
+// Server is the multi-query analytics service: a session/admission layer
+// that optimizes submissions through a plan cache, admits up to K
+// concurrent executions under a global memory cap, and runs them over one
+// shared buffer pool.
+type Server = server.Server
+
+// QueryRequest is one program submission: a named benchmark program or a
+// statement-builder JSON spec.
+type QueryRequest = server.Request
+
+// QueryStatus is a point-in-time snapshot of one submitted query.
+type QueryStatus = server.QueryStatus
+
+// ProgramSpec is the JSON statement-builder program form accepted by the
+// server (the paper's user-defined-operator path, §2).
+type ProgramSpec = server.ProgramSpec
+
+// ServerStats reports service-wide counters: pool hit rates, physical
+// storage I/O, admission occupancy, and the plan cache.
+type ServerStats = server.Stats
+
+// NewServer creates a multi-query service with its own shared storage
+// manager and buffer pool.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Serve runs the multi-query service's HTTP/JSON API (submit, status,
+// results, queries, stats) on addr until ctx is canceled, then shuts down
+// gracefully. cmd/riotshared is a thin wrapper around it.
+func Serve(ctx context.Context, addr string, cfg ServerConfig) error {
+	return server.ListenAndServe(ctx, addr, cfg)
+}

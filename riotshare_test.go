@@ -162,6 +162,68 @@ func TestPublicOptimizeBlockSize(t *testing.T) {
 	}
 }
 
+// A shared buffer pool through the public API: two executions of one plan
+// over the same pool must produce identical results while the second run's
+// reads are served from memory (no new physical reads).
+func TestPublicAPISharedBufferPool(t *testing.T) {
+	p := riotshare.AddMul(riotshare.AddMulConfig{
+		N1: 2, N2: 3, N3: 1,
+		ABBlock: riotshare.Dims{Rows: 4, Cols: 4},
+		DBlock:  riotshare.Dims{Rows: 4, Cols: 4},
+	})
+	res, err := riotshare.Optimize(p, riotshare.Options{BindParams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := riotshare.NewStorage(t.TempDir(), riotshare.FormatDAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.CreateAll(p); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, name := range []string{"A", "B", "D"} {
+		arr := p.Arrays[name]
+		for br := 0; br < arr.GridRows; br++ {
+			for bc := 0; bc < arr.GridCols; bc++ {
+				blk := blas.NewMatrix(arr.BlockRows, arr.BlockCols)
+				for i := range blk.Data {
+					blk.Data[i] = rng.NormFloat64()
+				}
+				if err := store.WriteBlock(name, int64(br), int64(bc), blk); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	pool := riotshare.NewBufferPool(store, 0)
+	opt := riotshare.ExecOptions{Pool: pool}
+	r1, err := riotshare.ExecuteOptions(res.Best, store, riotshare.PaperDiskModel(), 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readsAfterFirst := store.Stats().ReadReqs
+	r2, err := riotshare.ExecuteOptions(res.Best, store, riotshare.PaperDiskModel(), 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.CPUTime, r2.CPUTime = 0, 0
+	if r1 != r2 {
+		t.Fatalf("pooled reruns diverged: %+v vs %+v", r1, r2)
+	}
+	if got := store.Stats().ReadReqs; got != readsAfterFirst {
+		t.Errorf("second run did %d new physical reads, want 0 (pool hits)", got-readsAfterFirst)
+	}
+	if st := pool.Stats(); st.Hits == 0 || st.PinnedFrames != 0 {
+		t.Errorf("pool stats after runs: %+v (want hits > 0 and no leaked pins)", st)
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // OptimizeSubsets, the LAB-tree storage format, and the refined disk model
 // through the public API.
 func TestPublicAPISubsetsAndFormats(t *testing.T) {
