@@ -22,13 +22,17 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # Seed the perf trajectory: parallel-exec + buffer-pool benchmarks as JSON
-# (op, ns/op, hit rate). CI uploads BENCH_pool.json as an artifact. Each
-# step runs separately so a failing benchmark fails the target.
+# (op, ns/op, hit rate) into BENCH_pool.json, plus the eviction-policy
+# comparison (LRU vs segmented hot-set hit rate under a flooding scan) into
+# BENCH_cache.json. CI uploads both as artifacts. Each step runs separately
+# so a failing benchmark fails the target.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelExec' -benchtime 1x . > .bench-exec.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchmem ./internal/buffer > .bench-pool.txt
 	cat .bench-exec.txt .bench-pool.txt | $(GO) run ./cmd/benchjson -out BENCH_pool.json
-	@rm -f .bench-exec.txt .bench-pool.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkCachePolicy' -benchmem ./internal/buffer > .bench-cache.txt
+	$(GO) run ./cmd/benchjson -out BENCH_cache.json < .bench-cache.txt
+	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt
 
 lint:
 	$(GO) vet ./...

@@ -24,10 +24,31 @@ type Record struct {
 	Op         string  `json:"op"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// Policy is extracted from "policy=<name>" sub-benchmark path
+	// segments (the eviction-policy comparison in BENCH_cache.json keys
+	// on it).
+	Policy string `json:"policy,omitempty"`
 	// HitRate surfaces the buffer-pool benchmarks' custom metric at the
 	// top level when present.
 	HitRate *float64           `json:"hit_rate,omitempty"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// policyOf extracts the value of a "policy=<name>" path segment from a
+// benchmark name like BenchmarkCachePolicyScanMix/policy=lru-8 (the
+// trailing -N is the GOMAXPROCS suffix).
+func policyOf(name string) string {
+	for _, seg := range strings.Split(name, "/") {
+		if val, ok := strings.CutPrefix(seg, "policy="); ok {
+			if i := strings.LastIndex(val, "-"); i > 0 {
+				if _, err := strconv.Atoi(val[i+1:]); err == nil {
+					val = val[:i]
+				}
+			}
+			return val
+		}
+	}
+	return ""
 }
 
 func main() {
@@ -73,7 +94,7 @@ func parse(sc *bufio.Scanner) ([]Record, error) {
 		if err != nil {
 			continue // e.g. a "Benchmark..." log line, not a result row
 		}
-		rec := Record{Op: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		rec := Record{Op: fields[0], Iterations: iters, Policy: policyOf(fields[0]), Metrics: map[string]float64{}}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {

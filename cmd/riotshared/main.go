@@ -6,14 +6,16 @@
 // Server:
 //
 //	riotshared serve -addr :8377 -data /var/lib/riotshare -pool-mb 256 -max-concurrent 4
+//	riotshared serve -policy segmented -tenant-quota-mb acme=64,beta=32 \
+//	    -tenant-weight acme=3 -tenant-concurrent acme=2 -tenant-mem-mb acme=512
 //
 // Client:
 //
-//	riotshared submit  -addr http://localhost:8377 -prog addmul -mem 1000
+//	riotshared submit  -addr http://localhost:8377 -prog addmul -mem 1000 -tenant acme
 //	riotshared submit  -addr http://localhost:8377 -spec program.json
 //	riotshared status  -addr http://localhost:8377 -id q1
 //	riotshared results -addr http://localhost:8377 -id q1 -wait
-//	riotshared stats   -addr http://localhost:8377
+//	riotshared stats   -addr http://localhost:8377 -tenant acme
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests drain, running queries finish, the pool flushes.
@@ -27,10 +29,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
+	"riotshare/internal/govern"
 	"riotshare/internal/server"
 	"riotshare/internal/storage"
 )
@@ -64,14 +70,33 @@ func serve(fs *flag.FlagSet, args []string) error {
 		dir      = fs.String("data", "", "directory for physical block files (default: temp)")
 		format   = fs.String("format", "daf", "block format: daf or lab-tree")
 		poolMB   = fs.Int64("pool-mb", 256, "shared buffer pool capacity in MB (0 = unlimited)")
+		policy   = fs.String("policy", "lru", "pool replacement policy: lru or segmented (scan-resistant)")
 		maxConc  = fs.Int("max-concurrent", 2, "max concurrently executing queries (K)")
 		memMB    = fs.Int64("mem-mb", 0, "global cap on combined plan peak memory in MB (0 = unlimited)")
 		workers  = fs.Int("workers", 1, "default kernel workers per query (1 = sequential engine)")
 		prefetch = fs.Int("prefetch", 0, "default I/O prefetch window per query (0 = 2x workers)")
 		seed     = fs.Int64("seed", 1, "synthetic input data seed")
 		full     = fs.Bool("full", false, "full plan-space search for linreg (minutes)")
+
+		quotaMB    = fs.String("tenant-quota-mb", "", "per-tenant pool quotas, e.g. acme=64,beta=32 (MB)")
+		weights    = fs.String("tenant-weight", "", "per-tenant admission weights, e.g. acme=3,beta=1")
+		tenantConc = fs.String("tenant-concurrent", "", "per-tenant concurrency caps, e.g. acme=2")
+		tenantMem  = fs.String("tenant-mem-mb", "", "per-tenant plan peak memory caps, e.g. acme=512 (MB)")
+		noAffinity = fs.Bool("no-affinity", false, "disable shared-input affinity batching in admission")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	poolQuotas, err := parseTenantInts(*quotaMB, "tenant-quota-mb")
+	if err != nil {
+		return err
+	}
+	tenantQuotaBytes := make(map[string]int64, len(poolQuotas))
+	for t, mb := range poolQuotas {
+		tenantQuotaBytes[t] = mb << 20
+	}
+	tenants, err := parseTenantConfigs(*weights, *tenantConc, *tenantMem)
+	if err != nil {
 		return err
 	}
 	if *dir == "" {
@@ -91,21 +116,82 @@ func serve(fs *flag.FlagSet, args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	fmt.Printf("riotshared: serving on %s (data %s, pool %dMB, K=%d)\n", *addr, *dir, *poolMB, *maxConc)
-	err := server.ListenAndServe(ctx, *addr, server.Config{
-		Dir:            *dir,
-		Format:         f,
-		PoolBytes:      *poolMB << 20,
-		MaxConcurrent:  *maxConc,
-		GlobalMemBytes: *memMB << 20,
-		Workers:        *workers,
-		PrefetchDepth:  *prefetch,
-		Seed:           *seed,
-		FullSearch:     *full,
+	err = server.ListenAndServe(ctx, *addr, server.Config{
+		Dir:                  *dir,
+		Format:               f,
+		PoolBytes:            *poolMB << 20,
+		PoolPolicy:           *policy,
+		TenantPoolQuotaBytes: tenantQuotaBytes,
+		MaxConcurrent:        *maxConc,
+		GlobalMemBytes:       *memMB << 20,
+		Tenants:              tenants,
+		NoAffinity:           *noAffinity,
+		Workers:              *workers,
+		PrefetchDepth:        *prefetch,
+		Seed:                 *seed,
+		FullSearch:           *full,
 	})
 	if err == http.ErrServerClosed {
 		err = nil
 	}
 	return err
+}
+
+// parseTenantInts parses "name=value,name=value" flag lists.
+func parseTenantInts(s, flagName string) (map[string]int64, error) {
+	out := map[string]int64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-%s: %q is not name=value", flagName, kv)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-%s: %q is not a non-negative integer", flagName, val)
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
+// parseTenantConfigs assembles govern.TenantConfig values from the three
+// per-tenant flag lists.
+func parseTenantConfigs(weights, conc, memMB string) (map[string]govern.TenantConfig, error) {
+	ws, err := parseTenantInts(weights, "tenant-weight")
+	if err != nil {
+		return nil, err
+	}
+	cs, err := parseTenantInts(conc, "tenant-concurrent")
+	if err != nil {
+		return nil, err
+	}
+	ms, err := parseTenantInts(memMB, "tenant-mem-mb")
+	if err != nil {
+		return nil, err
+	}
+	if len(ws) == 0 && len(cs) == 0 && len(ms) == 0 {
+		return nil, nil
+	}
+	out := map[string]govern.TenantConfig{}
+	for name, w := range ws {
+		tc := out[name]
+		tc.Weight = int(w)
+		out[name] = tc
+	}
+	for name, c := range cs {
+		tc := out[name]
+		tc.MaxConcurrent = int(c)
+		out[name] = tc
+	}
+	for name, m := range ms {
+		tc := out[name]
+		tc.MemBytes = m << 20
+		out[name] = tc
+	}
+	return out, nil
 }
 
 func client(sub string, fs *flag.FlagSet, args []string) error {
@@ -116,6 +202,7 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 		memMB    = fs.Int64("mem", 0, "per-query memory cap in MB (0 = unlimited)")
 		plan     = fs.Int("plan", -1, "force plan index (-1 = cheapest fitting plan)")
 		workers  = fs.Int("workers", 0, "kernel workers for this query (0 = server default)")
+		tenant   = fs.String("tenant", "", "tenant label (submit: governor fairness + pool quotas; stats: filter)")
 		id       = fs.String("id", "", "query id (status, results)")
 		wait     = fs.Bool("wait", false, "block until the query finishes (results)")
 	)
@@ -124,7 +211,7 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 	}
 	switch sub {
 	case "submit":
-		req := server.Request{Program: *progName, MemCapMB: *memMB, Workers: *workers}
+		req := server.Request{Program: *progName, Tenant: *tenant, MemCapMB: *memMB, Workers: *workers}
 		if *specPath != "" {
 			data, err := os.ReadFile(*specPath)
 			if err != nil {
@@ -159,7 +246,11 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 		}
 		return do(http.MethodGet, url, nil)
 	case "stats":
-		return do(http.MethodGet, *addr+"/stats", nil)
+		u := *addr + "/stats"
+		if *tenant != "" {
+			u += "?tenant=" + url.QueryEscape(*tenant)
+		}
+		return do(http.MethodGet, u, nil)
 	}
 	return nil
 }

@@ -2,14 +2,23 @@
 // of the storage manager. It extends the paper's intra-program I/O sharing
 // across concurrent queries: a block read by one query stays cached (one
 // pristine frame per block) and is a memory hit for every later acquisition
-// by any query over the same pool, until LRU eviction reclaims it.
+// by any query over the same pool, until eviction reclaims it.
 //
 // Frames carry ref-counted pins driven by each plan's hold intervals (the
 // execution engines pin on acquisition and keep one pin per active hold;
 // see internal/exec): pinned frames are never evicted, unpinned frames age
-// out in least-recently-used order. Writes are deferred: Put installs a
-// dirty frame which is written back to storage on eviction or Flush, so
-// repeated writes to one block (accumulator chains) reach disk once.
+// out in replacement-policy order. The policy is pluggable (see policy.go):
+// classic LRU, or a scan-resistant segmented LRU under which a sequential
+// scan cannot flush other queries' hot working sets. Writes are deferred:
+// Put installs a dirty frame which is written back to storage on eviction
+// or Flush, so repeated writes to one block (accumulator chains) reach disk
+// once.
+//
+// The pool is tenant-aware: sessions carry a tenant label, frames are
+// attributed to the tenant that installed them, and optional per-tenant
+// byte quotas bound how much of the one shared pool a single tenant's
+// working set may occupy — an over-quota tenant evicts its own frames
+// first, so one tenant's flood cannot displace another tenant's residency.
 //
 // Capacity is a soft bound: when every frame is pinned the pool admits the
 // acquisition anyway (refusing would deadlock a running plan) and evicts
@@ -27,6 +36,20 @@ import (
 	"riotshare/internal/storage"
 )
 
+// Options configures a pool beyond its storage manager.
+type Options struct {
+	// CapacityBytes bounds cached bytes (soft; <= 0 = unlimited).
+	CapacityBytes int64
+	// Policy selects the replacement policy by name ("" or "lru" = LRU,
+	// "segmented" = scan-resistant segmented LRU).
+	Policy string
+	// TenantQuotaBytes optionally bounds the bytes each named tenant's
+	// installed frames may occupy inside the shared pool. Tenants absent
+	// from the map (and the anonymous tenant "") are bounded only by the
+	// pool capacity.
+	TenantQuotaBytes map[string]int64
+}
+
 // Pool is the shared block cache. It is safe for concurrent use by many
 // queries.
 type Pool struct {
@@ -34,29 +57,43 @@ type Pool struct {
 	// capBytes bounds cached bytes (soft; <= 0 = unlimited).
 	capBytes int64
 
-	mu     sync.Mutex
-	frames map[string]*frame
-	lru    *list.List // unpinned resident frames; front = least recently used
-	bytes  int64
+	mu      sync.Mutex
+	frames  map[string]*frame
+	policy  Policy
+	quotas  map[string]int64 // per-tenant byte quotas (missing = unbounded)
+	bytes   int64
+	tenants map[string]*tenantCounters
+	arrays  map[string]int64 // resident bytes per array, for affinity scoring
 
 	hits, misses, puts    int64
 	evictions, writebacks int64
 	evictErr              error // sticky write-back failure from capacity eviction
 }
 
+// tenantCounters aggregates one tenant's pool activity.
+type tenantCounters struct {
+	hits, misses int64
+	bytes        int64
+}
+
 // frame is one cached block.
 type frame struct {
-	array string
-	r, c  int64
-	key   string
+	array  string
+	r, c   int64
+	key    string
+	tenant string // installer, for quota accounting
 
 	blk   *blas.Matrix
 	bytes int64
 	pins  int
 	dirty bool
-	// elem is non-nil exactly while the frame is unpinned and resident
-	// (evictable).
+	// hot marks a re-reference while resident (a hit, or a re-Put); the
+	// replacement policy reads it when the frame next becomes evictable.
+	hot bool
+	// elem/seg are owned by the replacement policy; elem is non-nil
+	// exactly while the frame is unpinned and resident (evictable).
 	elem *list.Element
+	seg  segment
 	// loading is non-nil while the leader's miss read is in flight;
 	// followers wait on it instead of issuing a duplicate read.
 	loading chan struct{}
@@ -64,26 +101,70 @@ type frame struct {
 }
 
 // NewPool creates a pool over the manager with the given soft capacity in
-// bytes (<= 0 = unlimited).
+// bytes (<= 0 = unlimited) and the default LRU policy.
 func NewPool(store *storage.Manager, capacityBytes int64) *Pool {
+	p, err := NewPoolOptions(store, Options{CapacityBytes: capacityBytes})
+	if err != nil { // unreachable: the default policy always parses
+		panic(err)
+	}
+	return p
+}
+
+// NewPoolOptions creates a pool with an explicit replacement policy and
+// optional per-tenant quotas.
+func NewPoolOptions(store *storage.Manager, opt Options) (*Pool, error) {
+	pol, err := ParsePolicy(opt.Policy)
+	if err != nil {
+		return nil, err
+	}
+	pol.resize(opt.CapacityBytes)
+	quotas := make(map[string]int64, len(opt.TenantQuotaBytes))
+	for t, q := range opt.TenantQuotaBytes {
+		if q > 0 {
+			quotas[t] = q
+		}
+	}
 	return &Pool{
 		store:    store,
-		capBytes: capacityBytes,
+		capBytes: opt.CapacityBytes,
 		frames:   make(map[string]*frame),
-		lru:      list.New(),
-	}
+		policy:   pol,
+		quotas:   quotas,
+		tenants:  make(map[string]*tenantCounters),
+		arrays:   make(map[string]int64),
+	}, nil
 }
 
 func poolKey(array string, r, c int64) string {
 	return fmt.Sprintf("%s[%d,%d]", array, r, c)
 }
 
-// unlist removes the frame from the LRU list (it is pinned or evicted).
-func (p *Pool) unlist(f *frame) {
-	if f.elem != nil {
-		p.lru.Remove(f.elem)
-		f.elem = nil
+func (p *Pool) tenant(name string) *tenantCounters {
+	tc := p.tenants[name]
+	if tc == nil {
+		tc = &tenantCounters{}
+		p.tenants[name] = tc
 	}
+	return tc
+}
+
+// installLocked accounts a newly resident frame's bytes.
+func (p *Pool) installLocked(f *frame) {
+	p.bytes += f.bytes
+	p.arrays[f.array] += f.bytes
+	p.tenant(f.tenant).bytes += f.bytes
+}
+
+// forgetLocked reverses installLocked when a frame leaves the pool (or
+// before its bytes change).
+func (p *Pool) forgetLocked(f *frame) {
+	p.bytes -= f.bytes
+	if b := p.arrays[f.array] - f.bytes; b > 0 {
+		p.arrays[f.array] = b
+	} else {
+		delete(p.arrays, f.array)
+	}
+	p.tenant(f.tenant).bytes -= f.bytes
 }
 
 // Acquire returns a private copy of the block with one pin held on its
@@ -92,11 +173,16 @@ func (p *Pool) unlist(f *frame) {
 // count as hits). Release the pin with Unpin when the block leaves the
 // query's working set.
 func (p *Pool) Acquire(array string, r, c int64) (*blas.Matrix, error) {
+	return p.acquire("", array, r, c)
+}
+
+func (p *Pool) acquire(tenant, array string, r, c int64) (*blas.Matrix, error) {
 	key := poolKey(array, r, c)
 	p.mu.Lock()
 	if f, ok := p.frames[key]; ok {
 		f.pins++
-		p.unlist(f)
+		f.hot = true
+		p.policy.remove(f)
 		if ch := f.loading; ch != nil {
 			// Coalesce onto the in-flight leader read.
 			p.mu.Unlock()
@@ -108,6 +194,7 @@ func (p *Pool) Acquire(array string, r, c int64) (*blas.Matrix, error) {
 				return nil, err
 			}
 			p.hits++
+			p.tenant(tenant).hits++
 			src := f.blk
 			p.mu.Unlock()
 			// Frames are never mutated in place (Put swaps the pointer),
@@ -115,15 +202,17 @@ func (p *Pool) Acquire(array string, r, c int64) (*blas.Matrix, error) {
 			return src.Clone(), nil
 		}
 		p.hits++
+		p.tenant(tenant).hits++
 		src := f.blk
 		p.mu.Unlock()
 		return src.Clone(), nil
 	}
 
 	// Miss: install a loading frame and become the leader.
-	f := &frame{array: array, r: r, c: c, key: key, pins: 1, loading: make(chan struct{})}
+	f := &frame{array: array, r: r, c: c, key: key, tenant: tenant, pins: 1, loading: make(chan struct{})}
 	p.frames[key] = f
 	p.misses++
+	p.tenant(tenant).misses++
 	p.mu.Unlock()
 
 	blk, err := p.store.ReadBlock(array, r, c)
@@ -140,7 +229,7 @@ func (p *Pool) Acquire(array string, r, c int64) (*blas.Matrix, error) {
 	}
 	f.blk = blk
 	f.bytes = int64(len(blk.Data)) * 8
-	p.bytes += f.bytes
+	p.installLocked(f)
 	close(f.loading)
 	f.loading = nil
 	p.noteEvictErr(p.evictToCapLocked())
@@ -150,8 +239,9 @@ func (p *Pool) Acquire(array string, r, c int64) (*blas.Matrix, error) {
 
 // noteEvictErr records a write-back failure from capacity eviction. The
 // acquisition that triggered it still succeeded (the victim was
-// re-inserted, no data lost), so the error is sticky and surfaced by the
-// next Flush instead of failing the caller — which would leak its pin.
+// re-inserted, no data lost), so the error is sticky and surfaced by
+// Stats.EvictErr and the next Flush instead of failing the caller — which
+// would leak its pin.
 func (p *Pool) noteEvictErr(err error) {
 	if err != nil && p.evictErr == nil {
 		p.evictErr = err
@@ -162,6 +252,10 @@ func (p *Pool) noteEvictErr(err error) {
 // for deferred write-back) with one pin held on the frame. Later Acquires
 // of the block hit the new value.
 func (p *Pool) Put(array string, r, c int64, blk *blas.Matrix) error {
+	return p.put("", array, r, c, blk)
+}
+
+func (p *Pool) put(tenant, array string, r, c int64, blk *blas.Matrix) error {
 	cl := blk.Clone() // copy outside the lock; the caller keeps mutating blk
 	key := poolKey(array, r, c)
 	p.mu.Lock()
@@ -177,16 +271,21 @@ func (p *Pool) Put(array string, r, c int64, blk *blas.Matrix) error {
 		f = p.frames[key]
 	}
 	if f == nil {
-		f = &frame{array: array, r: r, c: c, key: key}
+		f = &frame{array: array, r: r, c: c, key: key, tenant: tenant}
 		p.frames[key] = f
+	} else {
+		// Re-written block: a re-reference for the policy, and its bytes
+		// move to the writing tenant before they are re-accounted.
+		f.hot = true
+		p.forgetLocked(f)
+		f.tenant = tenant
 	}
-	p.bytes -= f.bytes
 	f.blk = cl
 	f.bytes = int64(len(f.blk.Data)) * 8
-	p.bytes += f.bytes
+	p.installLocked(f)
 	f.dirty = true
 	f.pins++
-	p.unlist(f)
+	p.policy.remove(f)
 	p.puts++
 	p.noteEvictErr(p.evictToCapLocked())
 	p.mu.Unlock()
@@ -194,7 +293,7 @@ func (p *Pool) Put(array string, r, c int64, blk *blas.Matrix) error {
 }
 
 // Unpin releases n pins on the block's frame; a frame whose last pin
-// releases joins the LRU order and becomes evictable.
+// releases joins the eviction order and becomes evictable.
 func (p *Pool) Unpin(array string, r, c int64, n int) {
 	key := poolKey(array, r, c)
 	p.mu.Lock()
@@ -208,37 +307,63 @@ func (p *Pool) Unpin(array string, r, c int64, n int) {
 		f.pins = 0
 	}
 	if f.pins == 0 && f.blk != nil && f.loading == nil && f.elem == nil {
-		f.elem = p.lru.PushBack(f)
+		p.policy.add(f, f.hot)
+		f.hot = false
 		p.noteEvictErr(p.evictToCapLocked())
 	}
 }
 
-// evictToCapLocked evicts unpinned frames in LRU order until cached bytes
-// fit the capacity, writing dirty victims back first. A write-back failure
-// re-inserts the victim (its data must not be lost) and stops eviction.
-// Dirty write-back happens under the pool lock — a known serialization
-// point when the pool runs over capacity on slow storage; size the pool to
-// keep hot working sets resident (ROADMAP: pool partitioning).
+// evictFrameLocked writes one victim back if dirty and drops it. A
+// write-back failure re-inserts the victim as the next victim (its data
+// must not be lost) and reports the error; eviction stops.
+func (p *Pool) evictFrameLocked(f *frame) error {
+	p.policy.remove(f)
+	if f.dirty {
+		if err := p.store.WriteBlock(f.array, f.r, f.c, f.blk); err != nil {
+			p.policy.requeue(f)
+			return fmt.Errorf("buffer: write-back %s: %w", f.key, err)
+		}
+		f.dirty = false
+		p.writebacks++
+	}
+	delete(p.frames, f.key)
+	p.forgetLocked(f)
+	p.evictions++
+	return nil
+}
+
+// evictToCapLocked evicts unpinned frames in policy order until cached
+// bytes fit the capacity and every tenant with a quota fits it, writing
+// dirty victims back first. Per-tenant quotas reclaim the over-quota
+// tenant's own frames, so one tenant running hot cannot displace another
+// tenant's residency. Dirty write-back happens under the pool lock — a
+// known serialization point when the pool runs over capacity on slow
+// storage; size the pool to keep hot working sets resident.
 func (p *Pool) evictToCapLocked() error {
 	for p.capBytes > 0 && p.bytes > p.capBytes {
-		e := p.lru.Front()
-		if e == nil {
-			return nil // everything pinned: soft bound, admit the overage
+		f := p.policy.victim()
+		if f == nil {
+			break // everything pinned: soft bound, admit the overage
 		}
-		f := e.Value.(*frame)
-		p.lru.Remove(e)
-		f.elem = nil
-		if f.dirty {
-			if err := p.store.WriteBlock(f.array, f.r, f.c, f.blk); err != nil {
-				f.elem = p.lru.PushFront(f)
-				return fmt.Errorf("buffer: write-back %s: %w", f.key, err)
+		if err := p.evictFrameLocked(f); err != nil {
+			return err
+		}
+	}
+	// victimWhere walks the eviction order per victim — O(resident
+	// frames) under the pool lock. Fine at current pool scales; if quota
+	// churn ever shows up in profiles, a per-tenant evictable index makes
+	// this O(1) like the capacity path above.
+	for tenant, quota := range p.quotas {
+		tc := p.tenants[tenant]
+		for tc != nil && tc.bytes > quota {
+			f := p.policy.victimWhere(func(f *frame) bool { return f.tenant == tenant })
+			if f == nil {
+				break // the tenant's overage is all pinned: soft bound
 			}
-			f.dirty = false
-			p.writebacks++
+			if err := p.evictFrameLocked(f); err != nil {
+				return err
+			}
 		}
-		delete(p.frames, f.key)
-		p.bytes -= f.bytes
-		p.evictions++
 	}
 	return nil
 }
@@ -287,9 +412,9 @@ func (p *Pool) InvalidateArray(array string) error {
 		if f.pins > 0 {
 			continue
 		}
-		p.unlist(f)
+		p.policy.remove(f)
 		delete(p.frames, key)
-		p.bytes -= f.bytes
+		p.forgetLocked(f)
 	}
 	return nil
 }
@@ -305,10 +430,43 @@ func (p *Pool) DiscardArray(array string) {
 		if f.array != array || f.loading != nil || f.pins > 0 {
 			continue
 		}
-		p.unlist(f)
+		p.policy.remove(f)
 		delete(p.frames, key)
-		p.bytes -= f.bytes
+		p.forgetLocked(f)
 	}
+}
+
+// ResidentArrays snapshots the cached bytes per array. The admission
+// governor scores waiting queries' input arrays against one snapshot per
+// dispatch round (shared-input affinity batching) — a single pool-lock
+// acquisition no matter how many queries are queued.
+func (p *Pool) ResidentArrays() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := make(map[string]int64, len(p.arrays))
+	for a, b := range p.arrays {
+		snap[a] = b
+	}
+	return snap
+}
+
+// TenantStats is one tenant's slice of the pool counters.
+type TenantStats struct {
+	// Hits and Misses count the tenant's acquisitions; BytesCached the
+	// bytes of frames it installed that are still resident; QuotaBytes its
+	// configured quota (0 = unbounded).
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	BytesCached int64 `json:"bytesCached"`
+	QuotaBytes  int64 `json:"quotaBytes,omitempty"`
+}
+
+// HitRate returns the tenant's hits / (hits + misses), 0 when idle.
+func (s TenantStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 // Stats is a snapshot of the pool's counters.
@@ -317,13 +475,22 @@ type Stats struct {
 	// frame vs. leader reads that went to storage; Puts counts installed
 	// writes.
 	Hits, Misses, Puts int64
-	// Evictions and Writebacks count LRU evictions and dirty write-backs
-	// (eviction-driven plus Flush).
+	// Evictions and Writebacks count policy evictions and dirty
+	// write-backs (eviction-driven plus Flush).
 	Evictions, Writebacks int64
 	// BytesCached/BytesCap report occupancy against the soft capacity;
 	// Frames/PinnedFrames count resident and currently pinned frames.
 	BytesCached, BytesCap int64
 	Frames, PinnedFrames  int
+	// Policy names the replacement policy ("lru", "segmented").
+	Policy string
+	// EvictErr surfaces the sticky eviction write-back failure (empty =
+	// none): daemons see a failing device before a Flush trips over it.
+	EvictErr string
+	// Tenants breaks hits, misses, and residency down per tenant label;
+	// acquisitions outside a tenant session land on the anonymous tenant
+	// "". Nil only while the pool is untouched.
+	Tenants map[string]TenantStats
 }
 
 // HitRate returns hits / (hits + misses), 0 when idle.
@@ -343,31 +510,54 @@ func (p *Pool) Stats() Stats {
 		Evictions: p.evictions, Writebacks: p.writebacks,
 		BytesCached: p.bytes, BytesCap: p.capBytes,
 		Frames: len(p.frames),
+		Policy: p.policy.Name(),
+	}
+	if p.evictErr != nil {
+		st.EvictErr = p.evictErr.Error()
 	}
 	for _, f := range p.frames {
 		if f.pins > 0 {
 			st.PinnedFrames++
 		}
 	}
+	if len(p.tenants) > 0 {
+		st.Tenants = make(map[string]TenantStats, len(p.tenants))
+		for name, tc := range p.tenants {
+			st.Tenants[name] = TenantStats{
+				Hits: tc.hits, Misses: tc.misses,
+				BytesCached: tc.bytes,
+				QuotaBytes:  p.quotas[name],
+			}
+		}
+	}
 	return st
 }
 
-// Session is an array-aliasing view of the pool: block acquisitions rename
-// arrays through the alias map before touching the shared pool. The
-// multi-query server gives each query a session mapping its written arrays
-// to private namespaced names while inputs keep their shared names — that
-// is what makes one query's input read a hit for the next, without letting
-// two queries collide on outputs. Session implements the same acquisition
-// interface as the pool itself.
+// Session is an array-aliasing, tenant-labeled view of the pool: block
+// acquisitions rename arrays through the alias map before touching the
+// shared pool, and hits, misses, and installed frames are attributed to
+// the session's tenant (quota accounting). The multi-query server gives
+// each query a session mapping its written arrays to private namespaced
+// names while inputs keep their shared names — that is what makes one
+// query's input read a hit for the next, without letting two queries
+// collide on outputs. Session implements the same acquisition interface as
+// the pool itself.
 type Session struct {
-	pool  *Pool
-	alias map[string]string
+	pool   *Pool
+	tenant string
+	alias  map[string]string
 }
 
-// Session creates an aliasing view; arrays absent from alias keep their
-// names (shared).
+// Session creates an aliasing view under the anonymous tenant; arrays
+// absent from alias keep their names (shared).
 func (p *Pool) Session(alias map[string]string) *Session {
-	return &Session{pool: p, alias: alias}
+	return p.TenantSession("", alias)
+}
+
+// TenantSession creates an aliasing view whose acquisitions are attributed
+// to the named tenant.
+func (p *Pool) TenantSession(tenant string, alias map[string]string) *Session {
+	return &Session{pool: p, tenant: tenant, alias: alias}
 }
 
 func (s *Session) resolve(array string) string {
@@ -377,14 +567,14 @@ func (s *Session) resolve(array string) string {
 	return array
 }
 
-// Acquire is Pool.Acquire under the session's aliasing.
+// Acquire is Pool.Acquire under the session's aliasing and tenant.
 func (s *Session) Acquire(array string, r, c int64) (*blas.Matrix, error) {
-	return s.pool.Acquire(s.resolve(array), r, c)
+	return s.pool.acquire(s.tenant, s.resolve(array), r, c)
 }
 
-// Put is Pool.Put under the session's aliasing.
+// Put is Pool.Put under the session's aliasing and tenant.
 func (s *Session) Put(array string, r, c int64, blk *blas.Matrix) error {
-	return s.pool.Put(s.resolve(array), r, c, blk)
+	return s.pool.put(s.tenant, s.resolve(array), r, c, blk)
 }
 
 // Unpin is Pool.Unpin under the session's aliasing.

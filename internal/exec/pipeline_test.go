@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"testing"
 
 	"riotshare/internal/blas"
@@ -53,13 +54,17 @@ func outputArrays(p *prog.Program) []string {
 
 // runConfig varies one execution of a plan in the property tests: the
 // on-disk format, the engine parallelism, and whether block I/O goes
-// through a sharing-aware buffer pool.
+// through a sharing-aware buffer pool (with which eviction policy and
+// capacity — a small poolCap forces eviction and dirty write-back churn
+// mid-plan).
 type runConfig struct {
-	format   storage.Format
-	workers  int
-	prefetch int
-	memCap   int64
-	pool     bool
+	format     storage.Format
+	workers    int
+	prefetch   int
+	memCap     int64
+	pool       bool
+	poolPolicy string
+	poolCap    int64
 }
 
 // runPlan executes one plan on fresh storage and returns the result plus
@@ -78,7 +83,13 @@ func runPlan(t *testing.T, p *prog.Program, pl *core.EvaluatedPlan, cfg runConfi
 	eng := &Engine{Store: m, Model: disk.PaperModel(), MemCapBytes: cfg.memCap}
 	var pool *buffer.Pool
 	if cfg.pool {
-		pool = buffer.NewPool(m, 0)
+		pool, err = buffer.NewPoolOptions(m, buffer.Options{
+			CapacityBytes: cfg.poolCap,
+			Policy:        cfg.poolPolicy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		eng.Pool = pool
 	}
 	r, err := eng.RunOptions(pl.Timeline, Options{Workers: cfg.workers, PrefetchDepth: cfg.prefetch})
@@ -199,11 +210,27 @@ func TestParallelMatchesSequential(t *testing.T) {
 						par, parOut := runPlan(t, tc.prog, pl, runConfig{format: format, workers: workers})
 						assertIdentical(t, pl.Label, workers, seq, par, seqOut, parOut)
 					}
-					// Pooled runs (sequential and parallel) must be
-					// indistinguishable in Result and numerics too.
+					// Pooled runs (sequential and parallel, each eviction
+					// policy, unlimited and eviction-forcing capacities)
+					// must be indistinguishable in Result and numerics
+					// too.
 					for _, workers := range []int{1, 4} {
-						pooled, pooledOut := runPlan(t, tc.prog, pl, runConfig{format: format, workers: workers, pool: true})
-						assertIdentical(t, pl.Label+"+pool", workers, seq, pooled, seqOut, pooledOut)
+						for _, pcfg := range []struct {
+							policy string
+							cap    int64
+						}{
+							{buffer.PolicyLRU, 0},
+							{buffer.PolicyLRU, 4 << 10},
+							{buffer.PolicySegmented, 0},
+							{buffer.PolicySegmented, 4 << 10},
+						} {
+							pooled, pooledOut := runPlan(t, tc.prog, pl, runConfig{
+								format: format, workers: workers,
+								pool: true, poolPolicy: pcfg.policy, poolCap: pcfg.cap,
+							})
+							label := fmt.Sprintf("%s+pool-%s-cap%d", pl.Label, pcfg.policy, pcfg.cap)
+							assertIdentical(t, label, workers, seq, pooled, seqOut, pooledOut)
+						}
 					}
 				}
 			})

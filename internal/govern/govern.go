@@ -1,0 +1,484 @@
+// Package govern is the multi-tenant admission governor of the multi-query
+// service: it decides which waiting query runs next on the K execution
+// slots under a global memory cap. Where the original admission controller
+// was one FIFO queue (a flooding tenant starves everyone behind it), the
+// governor keeps one FIFO queue per tenant and serves the queues by
+// weighted deficit round-robin — every tenant with waiting queries earns
+// admission credits proportional to its weight on each rotation, so a
+// tenant submitting thousands of queries gets its fair share of slots and
+// no more, while per-tenant concurrency and memory quotas bound what a
+// single tenant may hold at once.
+//
+// Within one tenant's queue the governor optionally applies shared-input
+// affinity batching: among the tenant's admissible queries it prefers the
+// one whose input arrays overlap most with blocks currently resident in
+// the shared buffer pool, so pool hits compound (queries over the same
+// inputs run back-to-back instead of interleaving with pool-cold work). An
+// aging guard bounds how often the queue head may be bypassed, so affinity
+// cannot starve within a tenant either.
+package govern
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// TenantConfig bounds and weights one tenant.
+type TenantConfig struct {
+	// Weight is the tenant's deficit-round-robin weight (admissions earned
+	// per rotation; <= 0 = 1).
+	Weight int `json:"weight,omitempty"`
+	// MaxConcurrent caps the tenant's concurrently running queries
+	// (0 = only the global K applies).
+	MaxConcurrent int `json:"maxConcurrent,omitempty"`
+	// MemBytes caps the combined plan peak memory of the tenant's running
+	// queries (0 = only the global cap applies). A single plan exceeding
+	// it fails at admission rather than waiting forever.
+	MemBytes int64 `json:"memBytes,omitempty"`
+}
+
+// Config sizes the governor.
+type Config struct {
+	// MaxConcurrent is K, the global concurrently-running query bound
+	// (<= 0 = 2).
+	MaxConcurrent int
+	// GlobalMemBytes caps the combined peak (logical) memory of admitted
+	// plans (0 = unlimited). A plan alone exceeding it fails at admission.
+	GlobalMemBytes int64
+	// Tenants configures weights and quotas per tenant label; absent
+	// tenants (including the anonymous tenant "") get weight 1 and no
+	// per-tenant bounds.
+	Tenants map[string]TenantConfig
+	// Affinity, when set, is called once per dispatch round and returns a
+	// scorer of a waiting query's input arrays against the shared pool
+	// (bytes already resident) — so the pool is snapshotted once however
+	// many queries are queued. Among one tenant's admissible queries the
+	// highest score is admitted first; nil keeps strict FIFO within each
+	// tenant.
+	Affinity func() func(inputs []string) int64
+	// MaxAffinitySkips bounds how many times affinity may bypass a
+	// tenant's queue head before the head is forced (<= 0 = 8).
+	MaxAffinitySkips int
+}
+
+// deficitCap bounds accumulated round-robin credit (in units of the
+// tenant's weight): a tenant briefly unable to use its turns may burst a
+// little when unblocked, but not monopolize the slots.
+const deficitCap = 4
+
+// waiter is one query waiting for admission.
+type waiter struct {
+	peak   int64
+	inputs []string
+	skips  int
+	ready  chan struct{}
+}
+
+// tenantQueue is one tenant's FIFO of waiters plus its running footprint
+// and round-robin deficit.
+type tenantQueue struct {
+	name    string
+	cfg     TenantConfig
+	deficit int
+	// inTurn marks a round-robin turn interrupted by full slots: the
+	// dispatcher resumes it without crediting a fresh quantum.
+	inTurn bool
+	// memSkips counts dispatch rounds that admitted other tenants' work
+	// while this tenant's head was blocked solely by the global memory
+	// cap; past the starvation guard the head gets the next admission.
+	memSkips int
+	running  int
+	memUse   int64
+	waiters  []*waiter
+}
+
+func (tq *tenantQueue) weight() int {
+	if tq.cfg.Weight > 0 {
+		return tq.cfg.Weight
+	}
+	return 1
+}
+
+// Governor is the tenant-aware admission controller. The zero value is not
+// usable; create one with New.
+type Governor struct {
+	k        int
+	memCap   int64
+	cfg      map[string]TenantConfig
+	affinity func() func(inputs []string) int64
+	maxSkips int
+
+	mu      sync.Mutex
+	running int
+	memUse  int64
+	queues  map[string]*tenantQueue
+	ring    []*tenantQueue // tenants with waiters, in rotation order
+	next    int            // persistent round-robin pointer into ring
+	closed  chan struct{}
+}
+
+// New creates a governor.
+func New(cfg Config) *Governor {
+	k := cfg.MaxConcurrent
+	if k <= 0 {
+		k = 2
+	}
+	skips := cfg.MaxAffinitySkips
+	if skips <= 0 {
+		skips = 8
+	}
+	return &Governor{
+		k:        k,
+		memCap:   cfg.GlobalMemBytes,
+		cfg:      cfg.Tenants,
+		affinity: cfg.Affinity,
+		maxSkips: skips,
+		queues:   make(map[string]*tenantQueue),
+		closed:   make(chan struct{}),
+	}
+}
+
+func (g *Governor) queueLocked(tenant string) *tenantQueue {
+	tq := g.queues[tenant]
+	if tq == nil {
+		tq = &tenantQueue{name: tenant, cfg: g.cfg[tenant]}
+		g.queues[tenant] = tq
+	}
+	return tq
+}
+
+// Admit blocks until the query may run: the global K and memory cap fit,
+// the tenant's own quotas fit, and the tenant's round-robin turn comes up.
+// Oversized requests — a plan that can never fit the global or tenant
+// memory cap — fail immediately instead of starving the queue. Pair every
+// successful Admit with a Release.
+func (g *Governor) Admit(tenant string, peak int64, inputs []string) error {
+	select {
+	case <-g.closed:
+		return errors.New("govern: closed")
+	default:
+	}
+	if g.memCap > 0 && peak > g.memCap {
+		return fmt.Errorf("govern: plan peak memory %d bytes exceeds the global cap %d", peak, g.memCap)
+	}
+	if tc, ok := g.cfg[tenant]; ok && tc.MemBytes > 0 && peak > tc.MemBytes {
+		return fmt.Errorf("govern: plan peak memory %d bytes exceeds tenant %q's quota %d", peak, tenant, tc.MemBytes)
+	}
+	w := &waiter{peak: peak, inputs: inputs, ready: make(chan struct{})}
+	g.mu.Lock()
+	tq := g.queueLocked(tenant)
+	tq.waiters = append(tq.waiters, w)
+	if len(tq.waiters) == 1 {
+		g.ring = append(g.ring, tq) // joins the rotation at the tail
+	}
+	g.dispatchLocked()
+	g.mu.Unlock()
+	select {
+	case <-w.ready:
+		return nil
+	case <-g.closed:
+		g.mu.Lock()
+		for i, qw := range tq.waiters {
+			if qw == w {
+				tq.waiters = append(tq.waiters[:i], tq.waiters[i+1:]...)
+				if len(tq.waiters) == 0 {
+					g.unringLocked(tq)
+				}
+				break
+			}
+		}
+		// The close may have raced an admission grant.
+		select {
+		case <-w.ready:
+			g.mu.Unlock()
+			return nil
+		default:
+		}
+		g.cleanupLocked(tq)
+		g.mu.Unlock()
+		return errors.New("govern: closed")
+	}
+}
+
+// Release returns an admitted query's slot and memory and wakes whatever
+// the round-robin now owes a turn.
+func (g *Governor) Release(tenant string, peak int64) {
+	g.mu.Lock()
+	g.running--
+	g.memUse -= peak
+	if tq := g.queues[tenant]; tq != nil {
+		tq.running--
+		tq.memUse -= peak
+		g.cleanupLocked(tq)
+	}
+	g.dispatchLocked()
+	g.mu.Unlock()
+}
+
+// unringLocked removes an emptied tenant queue from the rotation, keeping
+// the round-robin pointer on the element that followed it.
+func (g *Governor) unringLocked(tq *tenantQueue) {
+	for i, q := range g.ring {
+		if q == tq {
+			g.ring = append(g.ring[:i], g.ring[i+1:]...)
+			if i < g.next {
+				g.next--
+			}
+			if len(g.ring) > 0 {
+				g.next %= len(g.ring)
+			} else {
+				g.next = 0
+			}
+			break
+		}
+	}
+	tq.deficit = 0 // DRR: an emptied queue forfeits saved credit
+	tq.inTurn = false
+	tq.memSkips = 0
+}
+
+// cleanupLocked drops a tenant queue that holds no state worth keeping.
+func (g *Governor) cleanupLocked(tq *tenantQueue) {
+	if tq.running == 0 && len(tq.waiters) == 0 && tq.memUse == 0 {
+		delete(g.queues, tq.name)
+	}
+}
+
+// fitsLocked reports whether one waiter fits the global and tenant memory
+// footprints (the K slots and tenant concurrency are checked separately).
+func (g *Governor) fitsLocked(tq *tenantQueue, w *waiter) bool {
+	if g.memCap > 0 && g.memUse+w.peak > g.memCap {
+		return false
+	}
+	if tq.cfg.MemBytes > 0 && tq.memUse+w.peak > tq.cfg.MemBytes {
+		return false
+	}
+	return true
+}
+
+// admissibleLocked reports whether the tenant could admit right now if a
+// slot were free: its concurrency quota has room and its queue head fits
+// the memory caps (the head blocks its queue, see pickLocked). Unlike
+// pickLocked it has no side effects, so the dispatcher may probe freely.
+func (g *Governor) admissibleLocked(tq *tenantQueue) bool {
+	if tq.cfg.MaxConcurrent > 0 && tq.running >= tq.cfg.MaxConcurrent {
+		return false
+	}
+	if len(tq.waiters) == 0 {
+		return false
+	}
+	return g.fitsLocked(tq, tq.waiters[0])
+}
+
+// pickLocked chooses the tenant's next admissible waiter: the FIFO head
+// unless affinity batching (score, nil when disabled) finds a waiter whose
+// inputs overlap more with the pooled blocks (bounded by the aging guard),
+// -1 when nothing may run. The head blocks its queue while it does not fit
+// the memory caps — as in the original FIFO, later small plans never
+// starve a waiting big one within a tenant.
+func (g *Governor) pickLocked(tq *tenantQueue, score func([]string) int64) int {
+	if !g.admissibleLocked(tq) {
+		return -1
+	}
+	head := tq.waiters[0]
+	if score == nil || len(tq.waiters) == 1 {
+		return 0
+	}
+	if head.skips >= g.maxSkips {
+		return 0 // aging guard: the head has been bypassed enough
+	}
+	best, bestScore := 0, score(head.inputs)
+	for i := 1; i < len(tq.waiters); i++ {
+		w := tq.waiters[i]
+		if !g.fitsLocked(tq, w) {
+			continue
+		}
+		if s := score(w.inputs); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best != 0 {
+		head.skips++
+	}
+	return best
+}
+
+// globallyMemBlockedLocked reports that the tenant's head would run right
+// now if only the global memory cap had room: its own quotas fit, the
+// global cap alone holds it back.
+func (g *Governor) globallyMemBlockedLocked(tq *tenantQueue) bool {
+	if len(tq.waiters) == 0 {
+		return false
+	}
+	if tq.cfg.MaxConcurrent > 0 && tq.running >= tq.cfg.MaxConcurrent {
+		return false
+	}
+	head := tq.waiters[0]
+	if tq.cfg.MemBytes > 0 && tq.memUse+head.peak > tq.cfg.MemBytes {
+		return false
+	}
+	return g.memCap > 0 && g.memUse+head.peak > g.memCap
+}
+
+// memStarvedLocked returns the tenant most overdue under the starvation
+// guard: its head has been passed over solely for global memory at least
+// maxSkips dispatch rounds in a row. Nil when no tenant is starved.
+func (g *Governor) memStarvedLocked() *tenantQueue {
+	var starved *tenantQueue
+	for _, tq := range g.ring {
+		if tq.memSkips >= g.maxSkips && (g.admissibleLocked(tq) || g.globallyMemBlockedLocked(tq)) {
+			if starved == nil || tq.memSkips > starved.memSkips {
+				starved = tq
+			}
+		}
+	}
+	return starved
+}
+
+// dispatchLocked runs the weighted deficit round-robin: the persistent
+// pointer visits tenants with waiters in rotation order; a tenant with an
+// admissible query earns its weight in credits per visit (capped, so
+// blocked turns cannot bank unbounded bursts) and admits while credit,
+// slots, and quotas last.
+//
+// Starvation guard: one tenant's big-memory plan must not wait forever
+// while other tenants' small plans keep the global cap saturated (the old
+// single-FIFO admission blocked everyone behind such a head; round-robin
+// would otherwise happily route around it). A head passed over solely for
+// global memory on maxSkips admitting rounds gets the next admission —
+// until it fits, nothing else is admitted, so running queries drain the
+// cap down to it.
+func (g *Governor) dispatchLocked() {
+	select {
+	case <-g.closed:
+		return
+	default:
+	}
+	if starved := g.memStarvedLocked(); starved != nil {
+		if !g.admissibleLocked(starved) {
+			return // hold admissions; releases drain memory toward it
+		}
+		for i, tq := range g.ring {
+			if tq == starved {
+				g.next = i // the starved tenant gets the next turn
+				break
+			}
+		}
+	}
+	// Affinity snapshots the pool at most once per dispatch round, lazily.
+	var scorer func([]string) int64
+	score := func(inputs []string) int64 {
+		if scorer == nil {
+			scorer = g.affinity()
+		}
+		return scorer(inputs)
+	}
+	if g.affinity == nil {
+		score = nil
+	}
+	admittedTo := map[*tenantQueue]bool{}
+	idle := 0 // consecutive visits without an admission
+	for g.running < g.k && len(g.ring) > 0 && idle < len(g.ring) {
+		g.next %= len(g.ring)
+		tq := g.ring[g.next]
+		if !g.admissibleLocked(tq) {
+			// Nothing admissible here (quota or memory blocked): no
+			// credit for turns a tenant cannot use.
+			tq.inTurn = false
+			idle++
+			g.next = (g.next + 1) % len(g.ring)
+			continue
+		}
+		if !tq.inTurn {
+			tq.deficit += tq.weight()
+			if max := tq.weight() * deficitCap; tq.deficit > max {
+				tq.deficit = max
+			}
+			tq.inTurn = true
+		}
+		admitted := false
+		for tq.deficit >= 1 && g.running < g.k {
+			i := g.pickLocked(tq, score)
+			if i < 0 {
+				break
+			}
+			w := tq.waiters[i]
+			tq.waiters = append(tq.waiters[:i], tq.waiters[i+1:]...)
+			g.running++
+			g.memUse += w.peak
+			tq.running++
+			tq.memUse += w.peak
+			tq.deficit--
+			close(w.ready)
+			admitted = true
+			admittedTo[tq] = true
+		}
+		if admitted {
+			idle = 0
+		} else {
+			idle++
+		}
+		if len(tq.waiters) == 0 {
+			g.unringLocked(tq) // pointer stays on the successor
+		} else if g.running >= g.k && tq.deficit >= 1 && g.admissibleLocked(tq) {
+			// Slots ran out mid-turn with credit left: the next release
+			// resumes this tenant's turn instead of rotating past it.
+			break
+		} else {
+			tq.inTurn = false
+			g.next = (g.next + 1) % len(g.ring)
+		}
+	}
+	if len(admittedTo) > 0 {
+		for _, tq := range g.ring {
+			if admittedTo[tq] {
+				tq.memSkips = 0
+			} else if g.globallyMemBlockedLocked(tq) {
+				tq.memSkips++
+			}
+		}
+	}
+}
+
+// Load reports global occupancy: running queries and total queued waiters.
+func (g *Governor) Load() (running, queued int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	queued = 0
+	for _, tq := range g.queues {
+		queued += len(tq.waiters)
+	}
+	return g.running, queued
+}
+
+// TenantLoad is one tenant's occupancy snapshot.
+type TenantLoad struct {
+	Running  int   `json:"running"`
+	Queued   int   `json:"queued"`
+	MemBytes int64 `json:"memBytes"`
+}
+
+// TenantLoads snapshots per-tenant occupancy for every tenant with queued
+// or running queries.
+func (g *Governor) TenantLoads() map[string]TenantLoad {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]TenantLoad, len(g.queues))
+	for name, tq := range g.queues {
+		out[name] = TenantLoad{Running: tq.running, Queued: len(tq.waiters), MemBytes: tq.memUse}
+	}
+	return out
+}
+
+// Close fails every current and future Admit with a closed error. Running
+// queries are unaffected; their Releases still balance.
+func (g *Governor) Close() {
+	g.mu.Lock()
+	select {
+	case <-g.closed:
+	default:
+		close(g.closed)
+	}
+	g.mu.Unlock()
+}

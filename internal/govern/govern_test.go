@@ -1,0 +1,331 @@
+package govern
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rig drives a governor deterministically: every query is a goroutine that
+// records its admission, holds its slot until the test releases it, and
+// releases. Tests enqueue one waiter at a time (waiting for it to register)
+// so queue order is exact, then release slots one at a time and assert the
+// admission order.
+type rig struct {
+	t *testing.T
+	g *Governor
+
+	mu    sync.Mutex
+	order []string
+
+	releases map[string]chan struct{}
+	done     []chan struct{}
+	inflight int
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	return &rig{t: t, g: New(cfg), releases: make(map[string]chan struct{})}
+}
+
+// enqueue submits one query and blocks until the governor has registered
+// it (granted or queued), so successive enqueues have a deterministic
+// order.
+func (r *rig) enqueue(label, tenant string, peak int64, inputs []string) {
+	r.t.Helper()
+	rel := make(chan struct{})
+	done := make(chan struct{})
+	r.releases[label] = rel
+	r.done = append(r.done, done)
+	r.inflight++
+	go func() {
+		defer close(done)
+		if err := r.g.Admit(tenant, peak, inputs); err != nil {
+			return
+		}
+		r.mu.Lock()
+		r.order = append(r.order, label)
+		r.mu.Unlock()
+		<-rel
+		r.g.Release(tenant, peak)
+	}()
+	r.waitFor(func() bool {
+		running, queued := r.g.Load()
+		return running+queued >= r.inflight || len(r.snapshot()) >= r.inflight
+	})
+}
+
+// release lets one admitted query finish.
+func (r *rig) release(label string) {
+	r.t.Helper()
+	close(r.releases[label])
+}
+
+// waitGrants blocks until n admissions were recorded and returns them.
+func (r *rig) waitGrants(n int) []string {
+	r.t.Helper()
+	r.waitFor(func() bool { return len(r.snapshot()) >= n })
+	return r.snapshot()
+}
+
+func (r *rig) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+func (r *rig) waitFor(cond func() bool) {
+	r.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			r.t.Fatalf("timeout; admissions so far: %v", r.snapshot())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// finish releases everything still held and waits for the goroutines.
+func (r *rig) finish() {
+	r.t.Helper()
+	for label, rel := range r.releases {
+		select {
+		case <-rel:
+		default:
+			_ = label
+			close(rel)
+		}
+	}
+	r.g.Close()
+	for _, d := range r.done {
+		<-d
+	}
+}
+
+func assertOrder(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("admission order = %v, want %v", got, want)
+	}
+}
+
+// A single (anonymous) tenant must behave exactly like the original FIFO
+// admission: strict submission order at K=1.
+func TestSingleTenantFIFO(t *testing.T) {
+	r := newRig(t, Config{MaxConcurrent: 1})
+	defer r.finish()
+	r.enqueue("q1", "", 10, nil)
+	r.waitGrants(1)
+	r.enqueue("q2", "", 10, nil)
+	r.enqueue("q3", "", 10, nil)
+	r.release("q1")
+	r.waitGrants(2)
+	r.release("q2")
+	assertOrder(t, r.waitGrants(3), "q1", "q2", "q3")
+}
+
+// Two equal-weight tenants alternate at K=1: a flooding tenant cannot
+// push a small tenant's queries behind its whole backlog.
+func TestRoundRobinInterleavesTenants(t *testing.T) {
+	r := newRig(t, Config{MaxConcurrent: 1})
+	defer r.finish()
+	r.enqueue("f1", "flood", 10, nil)
+	r.waitGrants(1)
+	for _, q := range []string{"f2", "f3", "f4", "f5"} {
+		r.enqueue(q, "flood", 10, nil)
+	}
+	r.enqueue("s1", "small", 10, nil)
+	r.enqueue("s2", "small", 10, nil)
+	for i, q := range []string{"f1", "f2", "s1", "f3", "s2", "f4"} {
+		r.release(q)
+		r.waitGrants(i + 2)
+	}
+	assertOrder(t, r.waitGrants(7), "f1", "f2", "s1", "f3", "s2", "f4", "f5")
+}
+
+// A weight-2 tenant earns two admissions per rotation against a weight-1
+// tenant, with the deficit carrying across slot releases at K=1.
+func TestWeightedShares(t *testing.T) {
+	r := newRig(t, Config{
+		MaxConcurrent: 1,
+		Tenants:       map[string]TenantConfig{"a": {Weight: 2}, "b": {Weight: 1}},
+	})
+	defer r.finish()
+	r.enqueue("init", "warm", 10, nil)
+	r.waitGrants(1)
+	for _, q := range []string{"a1", "a2", "a3", "a4"} {
+		r.enqueue(q, "a", 10, nil)
+	}
+	r.enqueue("b1", "b", 10, nil)
+	r.enqueue("b2", "b", 10, nil)
+	for i, q := range []string{"init", "a1", "a2", "b1", "a3", "a4"} {
+		r.release(q)
+		r.waitGrants(i + 2)
+	}
+	assertOrder(t, r.waitGrants(7), "init", "a1", "a2", "b1", "a3", "a4", "b2")
+}
+
+// A per-tenant concurrency quota blocks the tenant's second query while
+// other tenants keep using the free global slots.
+func TestTenantConcurrencyQuota(t *testing.T) {
+	r := newRig(t, Config{
+		MaxConcurrent: 4,
+		Tenants:       map[string]TenantConfig{"a": {MaxConcurrent: 1}},
+	})
+	defer r.finish()
+	r.enqueue("a1", "a", 10, nil)
+	r.waitGrants(1)
+	r.enqueue("a2", "a", 10, nil)
+	// b1's grant proves the dispatcher ran after a2 queued — so a2 really
+	// is held by the tenant quota, not by scheduling lag.
+	r.enqueue("b1", "b", 10, nil)
+	assertOrder(t, r.waitGrants(2), "a1", "b1")
+	if _, queued := r.g.Load(); queued != 1 {
+		t.Fatalf("queued = %d, want a2 held by the tenant quota", queued)
+	}
+	r.release("a1")
+	assertOrder(t, r.waitGrants(3), "a1", "b1", "a2")
+}
+
+// A per-tenant memory quota holds the tenant's next plan while it does not
+// fit, without blocking other tenants, and an oversized plan fails
+// immediately.
+func TestTenantMemoryQuota(t *testing.T) {
+	r := newRig(t, Config{
+		MaxConcurrent: 4,
+		Tenants:       map[string]TenantConfig{"a": {MemBytes: 100}},
+	})
+	defer r.finish()
+	if err := r.g.Admit("a", 200, nil); err == nil {
+		t.Fatal("plan above the tenant quota must fail at admission")
+	}
+	r.enqueue("a1", "a", 80, nil)
+	r.waitGrants(1)
+	r.enqueue("a2", "a", 30, nil) // 80+30 > 100: waits
+	r.enqueue("b1", "b", 30, nil)
+	assertOrder(t, r.waitGrants(2), "a1", "b1")
+	r.release("a1")
+	assertOrder(t, r.waitGrants(3), "a1", "b1", "a2")
+}
+
+// The global memory cap still rejects plans that can never fit and holds
+// plans until footprint frees (the original admission semantics).
+func TestGlobalMemoryCap(t *testing.T) {
+	r := newRig(t, Config{MaxConcurrent: 4, GlobalMemBytes: 100})
+	defer r.finish()
+	if err := r.g.Admit("", 200, nil); err == nil {
+		t.Fatal("plan above the global cap must fail at admission")
+	}
+	r.enqueue("q1", "", 80, nil)
+	r.waitGrants(1)
+	r.enqueue("q2", "", 40, nil)
+	if running, queued := r.g.Load(); running != 1 || queued != 1 {
+		t.Fatalf("load = %d running %d queued, want q2 held by the cap", running, queued)
+	}
+	r.release("q1")
+	assertOrder(t, r.waitGrants(2), "q1", "q2")
+}
+
+// The starvation guard: one tenant's big-memory plan, blocked solely by
+// the global cap, must not be routed around forever while another tenant's
+// small plans keep the cap saturated. After MaxAffinitySkips admitting
+// rounds pass it over, admissions hold until memory drains down to it.
+func TestGlobalMemStarvationGuard(t *testing.T) {
+	r := newRig(t, Config{
+		MaxConcurrent:    4,
+		GlobalMemBytes:   100,
+		MaxAffinitySkips: 2,
+	})
+	defer r.finish()
+	// Three small-tenant queries saturate the cap (3 x 30 of 100)...
+	for _, q := range []string{"b1", "b2", "b3"} {
+		r.enqueue(q, "b", 30, nil)
+	}
+	r.waitGrants(3)
+	// ...then the big tenant's 90-byte plan queues (30+90 > 100), followed
+	// by more small plans that would fit whenever a small one releases.
+	r.enqueue("a1", "a", 90, nil)
+	for _, q := range []string{"b4", "b5", "b6", "b7", "b8"} {
+		r.enqueue(q, "b", 30, nil)
+	}
+	// Two releases each admit the next small plan over a1's head
+	// (memSkips 1, 2)...
+	r.release("b1")
+	r.waitGrants(4)
+	r.release("b2")
+	r.waitGrants(5)
+	// ...then the guard engages: these releases admit nothing, draining
+	// the cap until a1 fits.
+	r.release("b3")
+	r.release("b4")
+	r.release("b5")
+	assertOrder(t, r.waitGrants(6), "b1", "b2", "b3", "b4", "b5", "a1")
+	// With a1 running (90 of 100), the remaining small plans wait; its
+	// release lets them all in at once (3 x 30 fits cap and slots), so
+	// their recording order is unordered.
+	r.release("a1")
+	tail := r.waitGrants(9)[6:]
+	sort.Strings(tail)
+	assertOrder(t, tail, "b6", "b7", "b8")
+}
+
+// Affinity batching reorders within a tenant toward pool-resident inputs,
+// and the aging guard forces the bypassed head after MaxAffinitySkips.
+func TestAffinityBatchingWithAgingGuard(t *testing.T) {
+	scores := map[string]int64{"hot": 100, "cold": 0}
+	r := newRig(t, Config{
+		MaxConcurrent:    1,
+		MaxAffinitySkips: 1,
+		Affinity: func() func(inputs []string) int64 {
+			return func(inputs []string) int64 {
+				var s int64
+				for _, in := range inputs {
+					s += scores[in]
+				}
+				return s
+			}
+		},
+	})
+	defer r.finish()
+	r.enqueue("q0", "", 10, nil)
+	r.waitGrants(1)
+	r.enqueue("c", "", 10, []string{"cold"})
+	r.enqueue("h1", "", 10, []string{"hot"})
+	r.enqueue("h2", "", 10, []string{"hot"})
+	// h1 overtakes the cold head once; then the aging guard forces c
+	// ahead of the equally-hot h2.
+	for i, q := range []string{"q0", "h1", "c"} {
+		r.release(q)
+		r.waitGrants(i + 2)
+	}
+	assertOrder(t, r.waitGrants(4), "q0", "h1", "c", "h2")
+}
+
+// Close fails queued waiters and future admits while running queries'
+// releases still balance.
+func TestCloseFailsWaiters(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1})
+	if err := g.Admit("", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- g.Admit("", 10, nil) }()
+	for {
+		if _, queued := g.Load(); queued == 1 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	g.Close()
+	if err := <-errc; err == nil {
+		t.Fatal("queued admit must fail on close")
+	}
+	if err := g.Admit("", 10, nil); err == nil {
+		t.Fatal("admit after close must fail")
+	}
+	g.Release("", 10)
+	if running, _ := g.Load(); running != 0 {
+		t.Fatalf("running = %d after balanced release", running)
+	}
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"riotshare/internal/prog"
+)
+
+// fairnessWorkload drives one server through the two-tenant scenario at
+// K=1: a flooding tenant piles floodN queries into the queue, then a small
+// tenant submits smallN queries behind them. It returns the final statuses
+// of both groups.
+func fairnessWorkload(t *testing.T, s *Server, floodTenant, smallTenant string, floodN, smallN int) (flood, small []QueryStatus) {
+	t.Helper()
+	floodIDs := make([]string, 0, floodN)
+	for i := 0; i < floodN; i++ {
+		id, err := s.Submit(Request{Program: "addmul-small", Tenant: floodTenant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		floodIDs = append(floodIDs, id)
+	}
+	// Only submit the small tenant's queries once the flood has piled up
+	// behind the single slot, so both schedulers face the same backlog.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Running+st.Queued >= floodN-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flood never queued: %+v", st)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	smallIDs := make([]string, 0, smallN)
+	for i := 0; i < smallN; i++ {
+		id, err := s.Submit(Request{Program: "addmul-small", Tenant: smallTenant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smallIDs = append(smallIDs, id)
+	}
+	for _, id := range floodIDs {
+		st, err := s.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("flood query %s: %s (%s)", id, st.State, st.Err)
+		}
+		flood = append(flood, st)
+	}
+	for _, id := range smallIDs {
+		st, err := s.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("small query %s: %s (%s)", id, st.State, st.Err)
+		}
+		small = append(small, st)
+	}
+	return flood, small
+}
+
+// p95Wait returns the 95th-percentile queue wait (Submitted → Started) of
+// a status group.
+func p95Wait(sts []QueryStatus) time.Duration {
+	waits := make([]time.Duration, 0, len(sts))
+	for _, st := range sts {
+		waits = append(waits, st.Started.Sub(st.Submitted))
+	}
+	sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+	return waits[(len(waits)*95+99)/100-1]
+}
+
+// TestTenantFairnessVsFIFOBaseline is the governor's acceptance test: with
+// one tenant flooding the queue and another submitting a handful of small
+// queries behind the flood, the governor's round-robin must interleave the
+// small tenant's queries into the flood — deterministically witnessed by
+// flood queries still starting after the small tenant has fully finished —
+// and the small tenant's p95 queue wait must beat the FIFO baseline, where
+// the small queries sit behind the entire flood.
+func TestTenantFairnessVsFIFOBaseline(t *testing.T) {
+	const floodN, smallN = 8, 3
+	progs := map[string]func() *prog.Program{"addmul-small": smallAddMul}
+
+	// Governed run: two tenant labels → two round-robin queues. Simulated
+	// device latency makes each query slow enough for the flood to pile up
+	// behind the single slot, as it would on real storage.
+	gov, err := New(Config{Dir: t.TempDir(), MaxConcurrent: 1, Seed: testSeed, Programs: progs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gov.Close()
+	gov.Store().ReadLatency = 2 * time.Millisecond
+	gov.Store().WriteLatency = 2 * time.Millisecond
+	flood, small := fairnessWorkload(t, gov, "flood", "small", floodN, smallN)
+
+	// Interleaving witness: the small tenant finished while flood queries
+	// were still being admitted.
+	lastSmall := small[0].Finished
+	for _, st := range small {
+		if st.Finished.After(lastSmall) {
+			lastSmall = st.Finished
+		}
+	}
+	floodAfter := 0
+	for _, st := range flood {
+		if st.Started.After(lastSmall) {
+			floodAfter++
+		}
+	}
+	if floodAfter == 0 {
+		t.Errorf("no flood query started after the small tenant finished: the flood was not interleaved")
+	}
+
+	// Per-tenant stats surfaced the two queues.
+	stats := gov.Stats()
+	if stats.Tenants["flood"].Finished != floodN || stats.Tenants["small"].Finished != smallN {
+		t.Errorf("per-tenant finished counts = %+v", stats.Tenants)
+	}
+	if stats.Tenants["small"].AvgQueueWaitMs <= 0 {
+		t.Errorf("small tenant AvgQueueWaitMs = %v, want > 0 (it did queue)", stats.Tenants["small"].AvgQueueWaitMs)
+	}
+
+	// FIFO baseline: the same backlog under one shared tenant label — the
+	// original single-queue admission — makes the small queries wait out
+	// the whole flood.
+	fifo, err := New(Config{Dir: t.TempDir(), MaxConcurrent: 1, Seed: testSeed, Programs: progs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fifo.Close()
+	fifo.Store().ReadLatency = 2 * time.Millisecond
+	fifo.Store().WriteLatency = 2 * time.Millisecond
+	fifoFlood, fifoSmall := fairnessWorkload(t, fifo, "", "", floodN, smallN)
+	_ = fifoFlood
+
+	govP95, fifoP95 := p95Wait(small), p95Wait(fifoSmall)
+	t.Logf("small-tenant p95 queue wait: governed %v vs FIFO %v (flood started after small finished: %d/%d)",
+		govP95, fifoP95, floodAfter, floodN)
+	if govP95 >= fifoP95 {
+		t.Errorf("governed small-tenant p95 wait %v not below the FIFO baseline %v", govP95, fifoP95)
+	}
+}

@@ -17,8 +17,15 @@ import (
 //	GET  /results?id=q1   → final QueryStatus; blocks until done with ?wait=1,
 //	                        409 while the query is still queued/running otherwise
 //	GET  /queries         → every query, submission order
-//	GET  /stats           → Stats (pool hit rates, physical I/O, admission, plan cache)
+//	GET  /stats           → Stats (pool hit rates, physical I/O, admission,
+//	                        plan cache, per-tenant breakdown incl. eviction
+//	                        write-back errors); ?tenant=name returns just
+//	                        that tenant's TenantStats
 //	GET  /healthz         → 200 ok
+//
+// Submissions carry an optional "tenant" label; the resource governor
+// schedules tenants fairly (weighted round-robin with per-tenant quotas)
+// and the buffer pool meters per-tenant residency.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/submit", s.handleSubmit)
@@ -100,7 +107,17 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	st := s.Stats()
+	if tenant, ok := r.URL.Query()["tenant"]; ok && len(tenant) > 0 {
+		ts, found := st.Tenants[tenant[0]]
+		if !found {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no activity for tenant %q", tenant[0]))
+			return
+		}
+		writeJSON(w, http.StatusOK, ts)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // ListenAndServe runs the HTTP API on addr until ctx is canceled, then

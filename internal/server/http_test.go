@@ -31,7 +31,7 @@ func newHTTPServer(t *testing.T) (*Server, *httptest.Server) {
 func TestHTTPSubmitStatusResultsStats(t *testing.T) {
 	_, ts := newHTTPServer(t)
 
-	body, _ := json.Marshal(Request{Program: "addmul-small"})
+	body, _ := json.Marshal(Request{Program: "addmul-small", Tenant: "acme"})
 	resp, err := http.Post(ts.URL+"/submit", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -97,6 +97,32 @@ func TestHTTPSubmitStatusResultsStats(t *testing.T) {
 	resp.Body.Close()
 	if stats.Finished != 1 || stats.Store.ReadReqs == 0 {
 		t.Fatalf("stats = %+v", stats)
+	}
+	if acme := stats.Tenants["acme"]; acme.Submitted != 1 || acme.Finished != 1 || acme.PoolMisses == 0 {
+		t.Fatalf("tenant stats = %+v, want acme's submission and pool activity", stats.Tenants)
+	}
+
+	// The per-tenant filter answers with just that tenant's slice, and 404s
+	// an unknown tenant.
+	resp, err = http.Get(ts.URL + "/stats?tenant=acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tstats TenantStats
+	if err := json.NewDecoder(resp.Body).Decode(&tstats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tstats.Finished != 1 {
+		t.Fatalf("/stats?tenant=acme = %+v", tstats)
+	}
+	resp, err = http.Get(ts.URL + "/stats?tenant=nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant stats status = %d", resp.StatusCode)
 	}
 
 	// Queries listing.

@@ -1,18 +1,22 @@
 // Package server is the multi-query analytics service: a session and
 // admission layer that accepts program submissions (named benchmark
 // programs or statement-builder JSON specs), optimizes them through a plan
-// cache, admits up to K concurrent executions whose combined peak memory
-// fits a global cap, and runs them over one shared, sharing-aware buffer
-// pool — so a block read by one query is a cache hit for the next. It turns
-// the single-shot optimizer into a long-running service, extending the
-// paper's intra-program I/O sharing across concurrent queries.
+// cache, admits executions through a tenant-aware resource governor
+// (weighted round-robin across tenants under global and per-tenant
+// concurrency/memory quotas; see internal/govern), and runs them over one
+// shared, sharing-aware buffer pool — so a block read by one query is a
+// cache hit for the next. It turns the single-shot optimizer into a
+// long-running service, extending the paper's intra-program I/O sharing
+// across concurrent queries and tenants.
 //
 // Input arrays (arrays a program never writes) are shared across queries by
 // name: the first query to reference one creates and fills it, later
 // queries — and concurrent ones — read the very same blocks through the
 // pool. Written arrays are namespaced per query ("q3.E"), so concurrent
 // executions of the same program cannot collide, while their ExecResults
-// stay identical to standalone sequential runs.
+// stay identical to standalone sequential runs. The governor prefers
+// admitting queries whose shared inputs are already pool-resident
+// (affinity batching), so those hits compound.
 package server
 
 import (
@@ -30,6 +34,7 @@ import (
 	"riotshare/internal/core"
 	"riotshare/internal/disk"
 	"riotshare/internal/exec"
+	"riotshare/internal/govern"
 	"riotshare/internal/prog"
 	"riotshare/internal/storage"
 )
@@ -42,6 +47,14 @@ type Config struct {
 	Format storage.Format
 	// PoolBytes is the shared buffer pool's soft capacity (0 = unlimited).
 	PoolBytes int64
+	// PoolPolicy selects the pool's replacement policy: "" or "lru" for
+	// classic LRU, "segmented" for the scan-resistant segmented LRU under
+	// which one tenant's huge scan cannot flush other tenants' hot sets.
+	PoolPolicy string
+	// TenantPoolQuotaBytes optionally bounds the pool bytes each tenant's
+	// installed frames may occupy (quota partitioning inside the one
+	// shared pool; absent tenants are bounded only by PoolBytes).
+	TenantPoolQuotaBytes map[string]int64
 	// MaxConcurrent is K, the number of concurrently executing queries
 	// (default 2).
 	MaxConcurrent int
@@ -49,6 +62,14 @@ type Config struct {
 	// plans (0 = unlimited). A query whose plan alone exceeds it fails at
 	// admission rather than starving the queue.
 	GlobalMemBytes int64
+	// Tenants sets per-tenant admission weights and concurrency/memory
+	// quotas for the governor; absent tenants get weight 1 and only the
+	// global bounds.
+	Tenants map[string]govern.TenantConfig
+	// NoAffinity disables shared-input affinity batching (by default the
+	// governor prefers, within a tenant, the admissible query whose input
+	// arrays are already pool-resident).
+	NoAffinity bool
 	// Workers/PrefetchDepth default each query to the pipelined engine
 	// configuration (Workers <= 1 = sequential interpreter); a Request may
 	// override them.
@@ -76,6 +97,9 @@ type Request struct {
 	// statement-builder JSON program; exactly one must be set.
 	Program string       `json:"program,omitempty"`
 	Spec    *ProgramSpec `json:"spec,omitempty"`
+	// Tenant labels the submission for the resource governor and the
+	// pool's quota accounting ("" = the anonymous tenant).
+	Tenant string `json:"tenant,omitempty"`
 	// MemCapMB bounds the chosen plan's peak (logical) memory and is
 	// enforced during execution (0 = unlimited: the cheapest plan wins).
 	MemCapMB int64 `json:"memCapMB,omitempty"`
@@ -113,6 +137,7 @@ type OutputInfo struct {
 type QueryStatus struct {
 	ID        string       `json:"id"`
 	Program   string       `json:"program"`
+	Tenant    string       `json:"tenant,omitempty"`
 	State     State        `json:"state"`
 	PlanIndex int          `json:"planIndex"`
 	PlanLabel string       `json:"planLabel"`
@@ -141,8 +166,26 @@ type query struct {
 	done   chan struct{}
 }
 
+// TenantStats is one tenant's slice of the service counters: governor
+// occupancy (queue depth, running, admitted memory footprint), submission
+// lifecycle counts, admission queue wait, and its share of the buffer pool
+// (hit rate, resident bytes, quota).
+type TenantStats struct {
+	Running        int     `json:"running"`
+	Queued         int     `json:"queued"`
+	MemBytes       int64   `json:"memBytes,omitempty"`
+	Submitted      int64   `json:"submitted"`
+	Finished       int64   `json:"finished"`
+	AvgQueueWaitMs float64 `json:"avgQueueWaitMs"`
+	PoolHits       int64   `json:"poolHits"`
+	PoolMisses     int64   `json:"poolMisses"`
+	PoolHitRate    float64 `json:"poolHitRate"`
+	BytesCached    int64   `json:"bytesCached"`
+	PoolQuotaBytes int64   `json:"poolQuotaBytes,omitempty"`
+}
+
 // Stats reports service-wide counters: the shared pool, physical storage
-// I/O, admission, and the plan cache.
+// I/O, admission, the plan cache, and the per-tenant breakdown.
 type Stats struct {
 	Pool  buffer.Stats  `json:"pool"`
 	Store storage.Stats `json:"store"`
@@ -154,6 +197,10 @@ type Stats struct {
 
 	PlanCacheHits   int64 `json:"planCacheHits"`
 	PlanCacheMisses int64 `json:"planCacheMisses"`
+
+	// Tenants breaks the service down per tenant label (the anonymous
+	// tenant is ""). Nil until a query was submitted.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // Server is the multi-query analytics service.
@@ -177,10 +224,21 @@ type Server struct {
 	planHits   int64
 	planMisses int64
 
-	adm *admission
+	gov *govern.Governor
+
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantCounters
 
 	inputMu sync.Mutex
 	inputs  map[string]*inputState
+}
+
+// tenantCounters aggregates one tenant's submission lifecycle on the
+// server side (the governor and pool keep their own per-tenant views).
+type tenantCounters struct {
+	submitted, finished int64
+	admissions          int64
+	waitTotal           time.Duration
 }
 
 type planEntry struct {
@@ -207,13 +265,42 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	pool, err := buffer.NewPoolOptions(m, buffer.Options{
+		CapacityBytes:    cfg.PoolBytes,
+		Policy:           cfg.PoolPolicy,
+		TenantQuotaBytes: cfg.TenantPoolQuotaBytes,
+	})
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	gcfg := govern.Config{
+		MaxConcurrent:  cfg.MaxConcurrent,
+		GlobalMemBytes: cfg.GlobalMemBytes,
+		Tenants:        cfg.Tenants,
+	}
+	if !cfg.NoAffinity {
+		// One pool snapshot per dispatch round scores every queued
+		// query's inputs without re-locking the pool per waiter.
+		gcfg.Affinity = func() func(inputs []string) int64 {
+			snap := pool.ResidentArrays()
+			return func(inputs []string) int64 {
+				var sum int64
+				for _, a := range inputs {
+					sum += snap[a]
+				}
+				return sum
+			}
+		}
+	}
 	return &Server{
 		cfg:       cfg,
 		store:     m,
-		pool:      buffer.NewPool(m, cfg.PoolBytes),
+		pool:      pool,
 		queries:   make(map[string]*query),
 		planCache: make(map[string]*planEntry),
-		adm:       newAdmission(cfg.MaxConcurrent, cfg.GlobalMemBytes),
+		gov:       govern.New(gcfg),
+		tenants:   make(map[string]*tenantCounters),
 		inputs:    make(map[string]*inputState),
 	}, nil
 }
@@ -251,6 +338,7 @@ func (s *Server) Submit(req Request) (string, error) {
 	q.status = QueryStatus{
 		ID:        q.id,
 		Program:   p.Name,
+		Tenant:    req.Tenant,
 		State:     StateQueued,
 		PlanIndex: -1,
 		Submitted: time.Now(),
@@ -260,8 +348,20 @@ func (s *Server) Submit(req Request) (string, error) {
 	s.submitted++
 	s.wg.Add(1)
 	s.mu.Unlock()
+	s.tenantMu.Lock()
+	s.tenant(req.Tenant).submitted++
+	s.tenantMu.Unlock()
 	go s.run(q)
 	return q.id, nil
+}
+
+func (s *Server) tenant(name string) *tenantCounters {
+	tc := s.tenants[name]
+	if tc == nil {
+		tc = &tenantCounters{}
+		s.tenants[name] = tc
+	}
+	return tc
 }
 
 // named programs: the paper's benchmark set. linreg's full plan space is
@@ -385,6 +485,9 @@ func (s *Server) run(q *query) {
 	}
 	s.finished++
 	s.mu.Unlock()
+	s.tenantMu.Lock()
+	s.tenant(q.req.Tenant).finished++
+	s.tenantMu.Unlock()
 	for _, v := range victims {
 		s.dropOutputs(v)
 	}
@@ -425,10 +528,16 @@ func (s *Server) runQuery(q *query) error {
 	s.mu.Unlock()
 
 	peak := pl.Cost.PeakMemoryBytes
-	if err := s.adm.admit(peak); err != nil {
+	enqueued := time.Now()
+	if err := s.gov.Admit(q.req.Tenant, peak, inputArrays(q.prog)); err != nil {
 		return err
 	}
-	defer s.adm.release(peak)
+	defer s.gov.Release(q.req.Tenant, peak)
+	s.tenantMu.Lock()
+	tc := s.tenant(q.req.Tenant)
+	tc.admissions++
+	tc.waitTotal += time.Since(enqueued)
+	s.tenantMu.Unlock()
 
 	s.mu.Lock()
 	q.status.State = StateRunning
@@ -454,7 +563,7 @@ func (s *Server) runQuery(q *query) error {
 		Store:       s.store,
 		Model:       disk.PaperModel(),
 		MemCapBytes: q.req.MemCapMB << 20,
-		Pool:        s.pool.Session(alias),
+		Pool:        s.pool.TenantSession(q.req.Tenant, alias),
 	}
 	r, err := eng.RunOptions(pl.Timeline, exec.Options{Workers: workers, PrefetchDepth: prefetch})
 	if err != nil {
@@ -489,12 +598,7 @@ func (s *Server) runQuery(q *query) error {
 // an alias entry for the query's pool session.
 func (s *Server) prepareArrays(q *query) (map[string]string, error) {
 	p := q.prog
-	written := map[string]bool{}
-	for _, st := range p.Stmts {
-		if w := st.WriteAccess(); w != nil {
-			written[w.Array] = true
-		}
-	}
+	written := writtenArrays(p)
 	// Sort for deterministic registration order.
 	names := make([]string, 0, len(p.Arrays))
 	for name := range p.Arrays {
@@ -562,6 +666,33 @@ func (s *Server) ensureInput(arr *prog.Array) error {
 		return fmt.Errorf("server: shared input %s: %w", arr.Name, st.err)
 	}
 	return nil
+}
+
+// writtenArrays collects the arrays the program writes; the rest are its
+// shared inputs.
+func writtenArrays(p *prog.Program) map[string]bool {
+	written := map[string]bool{}
+	for _, st := range p.Stmts {
+		if w := st.WriteAccess(); w != nil {
+			written[w.Array] = true
+		}
+	}
+	return written
+}
+
+// inputArrays returns the program's shared input arrays (never written),
+// sorted — the governor scores them against pool residency for affinity
+// batching.
+func inputArrays(p *prog.Program) []string {
+	written := writtenArrays(p)
+	names := make([]string, 0, len(p.Arrays))
+	for name := range p.Arrays {
+		if !written[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 func sameShape(a, b *prog.Array) bool {
@@ -715,14 +846,15 @@ func (s *Server) List() []QueryStatus {
 
 // Stats snapshots service-wide counters.
 func (s *Server) Stats() Stats {
-	running, queued := s.adm.load()
+	running, queued := s.gov.Load()
+	loads := s.gov.TenantLoads()
 	s.mu.Lock()
 	submitted, finished := s.submitted, s.finished
 	s.mu.Unlock()
 	s.planMu.Lock()
 	hits, misses := s.planHits, s.planMisses
 	s.planMu.Unlock()
-	return Stats{
+	st := Stats{
 		Pool:            s.pool.Stats(),
 		Store:           s.store.Stats(),
 		Running:         running,
@@ -732,6 +864,43 @@ func (s *Server) Stats() Stats {
 		PlanCacheHits:   hits,
 		PlanCacheMisses: misses,
 	}
+	// Per-tenant view: union of the governor's occupancy, the server's
+	// lifecycle counters, and the pool's per-tenant slice.
+	s.tenantMu.Lock()
+	names := map[string]bool{}
+	for name := range s.tenants {
+		names[name] = true
+	}
+	for name := range loads {
+		names[name] = true
+	}
+	for name := range st.Pool.Tenants {
+		names[name] = true
+	}
+	if len(names) > 0 {
+		st.Tenants = make(map[string]TenantStats, len(names))
+		for name := range names {
+			ts := TenantStats{}
+			if ld, ok := loads[name]; ok {
+				ts.Running, ts.Queued, ts.MemBytes = ld.Running, ld.Queued, ld.MemBytes
+			}
+			if tc := s.tenants[name]; tc != nil {
+				ts.Submitted, ts.Finished = tc.submitted, tc.finished
+				if tc.admissions > 0 {
+					ts.AvgQueueWaitMs = float64(tc.waitTotal.Milliseconds()) / float64(tc.admissions)
+				}
+			}
+			if ps, ok := st.Pool.Tenants[name]; ok {
+				ts.PoolHits, ts.PoolMisses = ps.Hits, ps.Misses
+				ts.PoolHitRate = ps.HitRate()
+				ts.BytesCached = ps.BytesCached
+				ts.PoolQuotaBytes = ps.QuotaBytes
+			}
+			st.Tenants[name] = ts
+		}
+	}
+	s.tenantMu.Unlock()
+	return st
 }
 
 // Close stops accepting submissions, fails queries still waiting for
@@ -745,113 +914,11 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	s.adm.close()
+	s.gov.Close()
 	s.wg.Wait()
 	err := s.pool.Flush()
 	if cerr := s.store.Close(); err == nil {
 		err = cerr
 	}
 	return err
-}
-
-// admission is the K-way, memory-capped FIFO admission controller.
-type admission struct {
-	mu      sync.Mutex
-	k       int
-	memCap  int64
-	running int
-	memUse  int64
-	queue   []*admitWaiter
-	closed  chan struct{}
-}
-
-type admitWaiter struct {
-	peak  int64
-	ready chan struct{}
-}
-
-func newAdmission(k int, memCap int64) *admission {
-	return &admission{k: k, memCap: memCap, closed: make(chan struct{})}
-}
-
-func (a *admission) fits(peak int64) bool {
-	return a.running < a.k && (a.memCap <= 0 || a.memUse+peak <= a.memCap)
-}
-
-// admit blocks until the query fits (FIFO: later arrivals never overtake a
-// waiting head, so big plans cannot starve).
-func (a *admission) admit(peak int64) error {
-	select {
-	case <-a.closed:
-		return errors.New("server: closed")
-	default:
-	}
-	if a.memCap > 0 && peak > a.memCap {
-		return fmt.Errorf("server: plan peak memory %d bytes exceeds the global cap %d", peak, a.memCap)
-	}
-	a.mu.Lock()
-	if len(a.queue) == 0 && a.fits(peak) {
-		a.running++
-		a.memUse += peak
-		a.mu.Unlock()
-		return nil
-	}
-	w := &admitWaiter{peak: peak, ready: make(chan struct{})}
-	a.queue = append(a.queue, w)
-	a.mu.Unlock()
-	select {
-	case <-w.ready:
-		return nil
-	case <-a.closed:
-		a.mu.Lock()
-		for i, qw := range a.queue {
-			if qw == w {
-				a.queue = append(a.queue[:i], a.queue[i+1:]...)
-				break
-			}
-		}
-		// The close may have raced an admission grant.
-		select {
-		case <-w.ready:
-			a.mu.Unlock()
-			return nil
-		default:
-		}
-		a.mu.Unlock()
-		return errors.New("server: closed")
-	}
-}
-
-// release returns a query's admission slot and wakes fitting FIFO heads.
-func (a *admission) release(peak int64) {
-	a.mu.Lock()
-	a.running--
-	a.memUse -= peak
-	for len(a.queue) > 0 {
-		w := a.queue[0]
-		if !a.fits(w.peak) {
-			break
-		}
-		a.queue = a.queue[1:]
-		a.running++
-		a.memUse += w.peak
-		close(w.ready)
-	}
-	a.mu.Unlock()
-}
-
-func (a *admission) load() (running, queued int) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.running, len(a.queue)
-}
-
-func (a *admission) close() {
-	a.mu.Lock()
-	select {
-	case <-a.closed:
-	default:
-		close(a.closed)
-	}
-	a.mu.Unlock()
 }

@@ -43,6 +43,7 @@ import (
 	"riotshare/internal/deps"
 	"riotshare/internal/disk"
 	"riotshare/internal/exec"
+	"riotshare/internal/govern"
 	"riotshare/internal/ops"
 	"riotshare/internal/prog"
 	"riotshare/internal/server"
@@ -221,24 +222,40 @@ type StorageStats = storage.Stats
 
 // BufferPool is the capacity-bounded, sharing-aware block cache in front
 // of a storage manager: ref-counted pins driven by each plan's hold
-// intervals, LRU eviction of unpinned blocks, deferred dirty write-back,
-// and hit/miss/eviction statistics. Share one pool across concurrent
-// executions (via ExecOptions.Pool or the multi-query server) so a block
-// read by one query is a cache hit for the next.
+// intervals, policy-driven eviction of unpinned blocks (LRU or a
+// scan-resistant segmented LRU), deferred dirty write-back, optional
+// per-tenant byte quotas, and hit/miss/eviction statistics. Share one pool
+// across concurrent executions (via ExecOptions.Pool or the multi-query
+// server) so a block read by one query is a cache hit for the next.
 type BufferPool = buffer.Pool
 
-// BufferPoolStats snapshots a pool's counters.
+// BufferPoolStats snapshots a pool's counters, including the sticky
+// eviction write-back error and the per-tenant breakdown.
 type BufferPoolStats = buffer.Stats
+
+// BufferPoolOptions configures a pool's capacity, replacement policy
+// ("lru" or "segmented"), and per-tenant quotas.
+type BufferPoolOptions = buffer.Options
 
 // BlockPool is the acquisition interface the execution engines use;
 // *BufferPool and its aliasing sessions implement it.
 type BlockPool = exec.BlockPool
 
 // NewBufferPool creates a pool over the manager with the given soft
-// capacity in bytes (<= 0 = unlimited).
+// capacity in bytes (<= 0 = unlimited) and the default LRU policy.
 func NewBufferPool(store *Storage, capacityBytes int64) *BufferPool {
 	return buffer.NewPool(store, capacityBytes)
 }
+
+// NewBufferPoolOptions creates a pool with an explicit replacement policy
+// and optional per-tenant quotas.
+func NewBufferPoolOptions(store *Storage, opt BufferPoolOptions) (*BufferPool, error) {
+	return buffer.NewPoolOptions(store, opt)
+}
+
+// TenantConfig weights and bounds one tenant in the admission governor
+// (round-robin weight, concurrency cap, plan peak memory cap).
+type TenantConfig = govern.TenantConfig
 
 // ServerConfig sizes the multi-query analytics service.
 type ServerConfig = server.Config
@@ -261,8 +278,12 @@ type QueryStatus = server.QueryStatus
 type ProgramSpec = server.ProgramSpec
 
 // ServerStats reports service-wide counters: pool hit rates, physical
-// storage I/O, admission occupancy, and the plan cache.
+// storage I/O, admission occupancy, the plan cache, and the per-tenant
+// breakdown (queue depth, hit rate, bytes cached).
 type ServerStats = server.Stats
+
+// ServerTenantStats is one tenant's slice of the service counters.
+type ServerTenantStats = server.TenantStats
 
 // NewServer creates a multi-query service with its own shared storage
 // manager and buffer pool.
