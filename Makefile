@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race test-full bench bench-json lint fmt
+.PHONY: build test test-race test-full bench bench-json bench-check lint fmt
 
 build:
 	$(GO) build ./...
@@ -22,17 +22,34 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # Seed the perf trajectory: parallel-exec + buffer-pool benchmarks as JSON
-# (op, ns/op, hit rate) into BENCH_pool.json, plus the eviction-policy
+# (op, ns/op, hit rate) into BENCH_pool.json, the eviction-policy
 # comparison (LRU vs segmented hot-set hit rate under a flooding scan) into
-# BENCH_cache.json. CI uploads both as artifacts. Each step runs separately
-# so a failing benchmark fails the target.
+# BENCH_cache.json, and the sharded-vs-single-directory parallel-read
+# benchmark into BENCH_shard.json. CI uploads all three as artifacts and
+# gates on them via bench-check. Each step runs separately so a failing
+# benchmark fails the target.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkParallelExec' -benchtime 1x . > .bench-exec.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelExec' -benchtime 3x . > .bench-exec.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchmem ./internal/buffer > .bench-pool.txt
 	cat .bench-exec.txt .bench-pool.txt | $(GO) run ./cmd/benchjson -out BENCH_pool.json
 	$(GO) test -run '^$$' -bench 'BenchmarkCachePolicy' -benchmem ./internal/buffer > .bench-cache.txt
 	$(GO) run ./cmd/benchjson -out BENCH_cache.json < .bench-cache.txt
-	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedRead' -benchtime 5x ./internal/storage > .bench-shard.txt
+	$(GO) run ./cmd/benchjson -out BENCH_shard.json < .bench-shard.txt
+	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt .bench-shard.txt
+
+# Bench-regression gate: stash the committed baselines, rerun the
+# benchmarks, and fail on a >25% ns/op regression against any baseline.
+# CI runs exactly this; refresh the committed BENCH_*.json to move a
+# baseline deliberately.
+bench-check:
+	@mkdir -p .bench-base
+	cp BENCH_pool.json BENCH_cache.json BENCH_shard.json .bench-base/
+	$(MAKE) bench-json
+	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_pool.json BENCH_pool.json -tolerance 0.25
+	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_cache.json BENCH_cache.json -tolerance 0.25
+	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_shard.json BENCH_shard.json -tolerance 0.25
+	@rm -rf .bench-base
 
 lint:
 	$(GO) vet ./...

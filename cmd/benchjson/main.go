@@ -5,8 +5,14 @@
 //
 //	go test -run '^$' -bench 'Pool' ./internal/buffer | benchjson -out BENCH_pool.json
 //
-// `make bench-json` uses it to seed the performance trajectory artifact
-// (BENCH_pool.json) that CI uploads on every run.
+// `make bench-json` uses it to seed the performance trajectory artifacts
+// (BENCH_pool.json, BENCH_cache.json, BENCH_shard.json) that CI uploads on
+// every run.
+//
+// With -compare it instead diffs two such JSON files and fails (exit 1) on
+// a ns/op regression beyond the tolerance — the CI bench-regression gate:
+//
+//	benchjson -compare old.json new.json -tolerance 0.25
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -52,8 +59,41 @@ func policyOf(name string) string {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pool.json", "output JSON file (- for stdout)")
-	flag.Parse()
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	out := fs.String("out", "BENCH_pool.json", "output JSON file (- for stdout)")
+	compare := fs.Bool("compare", false, "compare mode: benchjson -compare old.json new.json [-tolerance 0.25]; exits 1 on ns/op regressions beyond the tolerance")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional ns/op increase in -compare mode (0.25 = +25%)")
+	// Accept flags interleaved with the positional file arguments
+	// (-compare old.json new.json -tolerance 0.25), which stdlib flag
+	// parsing alone would stop at.
+	args, pos := os.Args[1:], []string(nil)
+	for len(args) > 0 {
+		// A bare "-" is a positional (stdout/stdin marker), not a flag —
+		// the flag package would return it unconsumed and loop forever.
+		if strings.HasPrefix(args[0], "-") && args[0] != "-" {
+			fs.Parse(args)
+			args = fs.Args()
+			continue
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+	if *compare {
+		if len(pos) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := compareFiles(pos[0], pos[1], *tolerance, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% ns/op\n", regressions, *tolerance*100)
+			os.Exit(1)
+		}
+		return
+	}
 	recs, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -78,6 +118,68 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d records to %s\n", len(recs), *out)
+}
+
+// loadRecords reads one benchjson output file.
+func loadRecords(path string) (map[string]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Record, len(recs))
+	for _, r := range recs {
+		out[r.Op] = r
+	}
+	return out, nil
+}
+
+// compareFiles diffs two benchjson files by benchmark name and reports the
+// number of ns/op regressions beyond the tolerance. Benchmarks present in
+// only one file are listed but never fail the gate (new benchmarks land,
+// old ones retire); improvements are reported for the trajectory log.
+func compareFiles(oldPath, newPath string, tolerance float64, w *os.File) (regressions int, err error) {
+	oldRecs, err := loadRecords(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRecs, err := loadRecords(newPath)
+	if err != nil {
+		return 0, err
+	}
+	names := make([]string, 0, len(oldRecs))
+	for name := range oldRecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o := oldRecs[name]
+		n, ok := newRecs[name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s %14.0f %14s %8s\n", name, o.NsPerOp, "-", "gone")
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		verdict := ""
+		if delta > tolerance {
+			verdict = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, delta*100, verdict)
+	}
+	for name, n := range newRecs {
+		if _, ok := oldRecs[name]; !ok {
+			fmt.Fprintf(w, "%-60s %14s %14.0f %8s\n", name, "-", n.NsPerOp, "new")
+		}
+	}
+	return regressions, nil
 }
 
 // parse extracts benchmark lines of the form

@@ -55,6 +55,7 @@ func run() error {
 	asJSON := fs.Bool("json", false, "emit the lowered plan as JSON (codegen subcommand)")
 	workers := fs.Int("workers", 1, "parallel kernel workers for run (1 = sequential engine)")
 	prefetch := fs.Int("prefetch", 0, "I/O prefetch window in blocks (0 = 2x workers)")
+	shards := fs.Int("shards", 1, "stripe the run's block store across N shard dirs (per-shard I/O is reported)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return err
 	}
@@ -143,7 +144,15 @@ func run() error {
 			return err
 		}
 		defer os.RemoveAll(dir)
-		store, err := riotshare.NewStorage(dir, riotshare.FormatDAF)
+		var store riotshare.StorageBackend
+		var sharded *riotshare.ShardedStorage
+		if *shards > 1 {
+			sharded, err = riotshare.OpenShardedStorage(
+				riotshare.ShardDirs(dir, *shards), riotshare.ShardedStorageOptions{})
+			store = sharded
+		} else {
+			store, err = riotshare.NewStorage(dir, riotshare.FormatDAF)
+		}
 		if err != nil {
 			return err
 		}
@@ -174,6 +183,13 @@ func run() error {
 		fmt.Printf("physical I/O: %d read requests (%.1fMB), %d write requests (%.1fMB)\n",
 			ps.ReadReqs-preRun.ReadReqs, float64(ps.ReadBytes-preRun.ReadBytes)/(1<<20),
 			ps.WriteReqs-preRun.WriteReqs, float64(ps.WriteBytes-preRun.WriteBytes)/(1<<20))
+		if sharded != nil {
+			for i, ss := range sharded.ShardStats() {
+				fmt.Printf("  shard %d: %d read reqs (%.1fMB), %d write reqs (%.1fMB)\n",
+					i, ss.ReadReqs, float64(ss.ReadBytes)/(1<<20),
+					ss.WriteReqs, float64(ss.WriteBytes)/(1<<20))
+			}
+		}
 		if *workers > 1 {
 			fmt.Printf("pipelined wall-clock estimate (I/O overlapped with compute): %.0fs\n",
 				model.PipelinedTime(r.ReadBytes, r.WriteBytes, r.ReadReqs, r.WriteReqs, r.CPUTime.Seconds()))

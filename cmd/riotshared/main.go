@@ -6,6 +6,8 @@
 // Server:
 //
 //	riotshared serve -addr :8377 -data /var/lib/riotshare -pool-mb 256 -max-concurrent 4
+//	riotshared serve -data /var/lib/riotshare -shards 4 -persist   # striped + restart-persistent
+//	riotshared serve -shard-dirs /mnt/d0,/mnt/d1 -persist          # explicit devices
 //	riotshared serve -policy segmented -tenant-quota-mb acme=64,beta=32 \
 //	    -tenant-weight acme=3 -tenant-concurrent acme=2 -tenant-mem-mb acme=512
 //
@@ -78,6 +80,11 @@ func serve(fs *flag.FlagSet, args []string) error {
 		seed     = fs.Int64("seed", 1, "synthetic input data seed")
 		full     = fs.Bool("full", false, "full plan-space search for linreg (minutes)")
 
+		shards    = fs.Int("shards", 1, "stripe the block store across N shard dirs under -data (devices)")
+		shardDirs = fs.String("shard-dirs", "", "explicit comma-separated shard directories (overrides -shards; order matters)")
+		placement = fs.String("placement", "", "block placement across shards: hash (default) or rows")
+		persist   = fs.Bool("persist", false, "persist shared input arrays across restarts (manifest catalog; requires -data or -shard-dirs)")
+
 		quotaMB    = fs.String("tenant-quota-mb", "", "per-tenant pool quotas, e.g. acme=64,beta=32 (MB)")
 		weights    = fs.String("tenant-weight", "", "per-tenant admission weights, e.g. acme=3,beta=1")
 		tenantConc = fs.String("tenant-concurrent", "", "per-tenant concurrency caps, e.g. acme=2")
@@ -99,7 +106,18 @@ func serve(fs *flag.FlagSet, args []string) error {
 	if err != nil {
 		return err
 	}
-	if *dir == "" {
+	var dirs []string
+	if *shardDirs != "" {
+		for _, d := range strings.Split(*shardDirs, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	if *persist && *dir == "" && len(dirs) == 0 {
+		return fmt.Errorf("-persist needs a real data directory: set -data or -shard-dirs")
+	}
+	if *dir == "" && len(dirs) == 0 {
 		d, err := os.MkdirTemp("", "riotshared-*")
 		if err != nil {
 			return err
@@ -119,6 +137,10 @@ func serve(fs *flag.FlagSet, args []string) error {
 	err = server.ListenAndServe(ctx, *addr, server.Config{
 		Dir:                  *dir,
 		Format:               f,
+		Shards:               *shards,
+		ShardDirs:            dirs,
+		Placement:            *placement,
+		Persist:              *persist,
 		PoolBytes:            *poolMB << 20,
 		PoolPolicy:           *policy,
 		TenantPoolQuotaBytes: tenantQuotaBytes,

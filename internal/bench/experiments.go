@@ -55,7 +55,7 @@ func actualModel() disk.Model { return disk.RefinedModel(0.008) }
 // FillInputs writes seeded random blocks for every array the program never
 // writes, and returns the assembled full input matrices for reference
 // computations.
-func FillInputs(p *prog.Program, m *storage.Manager, seed int64) (map[string]*blas.Matrix, error) {
+func FillInputs(p *prog.Program, m storage.Backend, seed int64) (map[string]*blas.Matrix, error) {
 	written := map[string]bool{}
 	for _, st := range p.Stmts {
 		if w := st.WriteAccess(); w != nil {

@@ -53,7 +53,7 @@ type Options struct {
 // Pool is the shared block cache. It is safe for concurrent use by many
 // queries.
 type Pool struct {
-	store *storage.Manager
+	store storage.Backend
 	// capBytes bounds cached bytes (soft; <= 0 = unlimited).
 	capBytes int64
 
@@ -102,7 +102,7 @@ type frame struct {
 
 // NewPool creates a pool over the manager with the given soft capacity in
 // bytes (<= 0 = unlimited) and the default LRU policy.
-func NewPool(store *storage.Manager, capacityBytes int64) *Pool {
+func NewPool(store storage.Backend, capacityBytes int64) *Pool {
 	p, err := NewPoolOptions(store, Options{CapacityBytes: capacityBytes})
 	if err != nil { // unreachable: the default policy always parses
 		panic(err)
@@ -112,7 +112,7 @@ func NewPool(store *storage.Manager, capacityBytes int64) *Pool {
 
 // NewPoolOptions creates a pool with an explicit replacement policy and
 // optional per-tenant quotas.
-func NewPoolOptions(store *storage.Manager, opt Options) (*Pool, error) {
+func NewPoolOptions(store storage.Backend, opt Options) (*Pool, error) {
 	pol, err := ParsePolicy(opt.Policy)
 	if err != nil {
 		return nil, err

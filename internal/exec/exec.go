@@ -33,9 +33,10 @@ type Result struct {
 	PeakMemoryBytes int64
 }
 
-// Engine executes timelines against a storage manager.
+// Engine executes timelines against a storage backend (a single-directory
+// manager or a sharded store — placement is invisible to execution).
 type Engine struct {
-	Store *storage.Manager
+	Store storage.Backend
 	Model disk.Model
 	// MemCapBytes, when nonzero, makes execution fail if the buffered
 	// working set ever exceeds the cap (the optimizer must have chosen a

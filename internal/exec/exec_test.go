@@ -18,7 +18,7 @@ import (
 // fillInputs writes random blocks for every array the program never writes
 // (the program inputs), returning the full assembled matrices for
 // reference computation.
-func fillInputs(t *testing.T, p *prog.Program, m *storage.Manager, seed int64) map[string]*blas.Matrix {
+func fillInputs(t *testing.T, p *prog.Program, m storage.Backend, seed int64) map[string]*blas.Matrix {
 	t.Helper()
 	written := map[string]bool{}
 	for _, st := range p.Stmts {
@@ -63,7 +63,7 @@ func fillInputs(t *testing.T, p *prog.Program, m *storage.Manager, seed int64) m
 }
 
 // readFull assembles a stored array into one matrix.
-func readFull(t *testing.T, p *prog.Program, m *storage.Manager, name string) *blas.Matrix {
+func readFull(t *testing.T, p *prog.Program, m storage.Backend, name string) *blas.Matrix {
 	t.Helper()
 	arr := p.Arrays[name]
 	fm := blas.NewMatrix(arr.BlockRows*arr.GridRows, arr.BlockCols*arr.GridCols)

@@ -53,7 +53,8 @@ func outputArrays(p *prog.Program) []string {
 }
 
 // runConfig varies one execution of a plan in the property tests: the
-// on-disk format, the engine parallelism, and whether block I/O goes
+// on-disk format, the engine parallelism, the shard count of the block
+// store (0/1 = the single-directory manager), and whether block I/O goes
 // through a sharing-aware buffer pool (with which eviction policy and
 // capacity — a small poolCap forces eviction and dirty write-back churn
 // mid-plan).
@@ -62,6 +63,7 @@ type runConfig struct {
 	workers    int
 	prefetch   int
 	memCap     int64
+	shards     int
 	pool       bool
 	poolPolicy string
 	poolCap    int64
@@ -71,7 +73,14 @@ type runConfig struct {
 // every persistent output array.
 func runPlan(t *testing.T, p *prog.Program, pl *core.EvaluatedPlan, cfg runConfig) (Result, map[string]*blas.Matrix) {
 	t.Helper()
-	m, err := storage.NewManager(t.TempDir(), cfg.format)
+	var m storage.Backend
+	var err error
+	if cfg.shards > 1 {
+		m, err = storage.OpenSharded(storage.ShardDirs(t.TempDir(), cfg.shards),
+			storage.ShardedOptions{Format: cfg.format})
+	} else {
+		m, err = storage.NewManager(t.TempDir(), cfg.format)
+	}
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,6 +219,19 @@ func TestParallelMatchesSequential(t *testing.T) {
 						par, parOut := runPlan(t, tc.prog, pl, runConfig{format: format, workers: workers})
 						assertIdentical(t, pl.Label, workers, seq, par, seqOut, parOut)
 					}
+					// Shards axis: striping the block store across 2 or 4
+					// shard directories must be invisible to execution —
+					// same Result, bit-identical outputs — sequential and
+					// parallel alike.
+					for _, shards := range []int{2, 4} {
+						for _, workers := range []int{1, 4} {
+							sh, shOut := runPlan(t, tc.prog, pl, runConfig{
+								format: format, workers: workers, shards: shards,
+							})
+							label := fmt.Sprintf("%s+shards%d", pl.Label, shards)
+							assertIdentical(t, label, workers, seq, sh, seqOut, shOut)
+						}
+					}
 					// Pooled runs (sequential and parallel, each eviction
 					// policy, unlimited and eviction-forcing capacities)
 					// must be indistinguishable in Result and numerics
@@ -218,17 +240,23 @@ func TestParallelMatchesSequential(t *testing.T) {
 						for _, pcfg := range []struct {
 							policy string
 							cap    int64
+							shards int
 						}{
-							{buffer.PolicyLRU, 0},
-							{buffer.PolicyLRU, 4 << 10},
-							{buffer.PolicySegmented, 0},
-							{buffer.PolicySegmented, 4 << 10},
+							{buffer.PolicyLRU, 0, 0},
+							{buffer.PolicyLRU, 4 << 10, 0},
+							{buffer.PolicySegmented, 0, 0},
+							{buffer.PolicySegmented, 4 << 10, 0},
+							// The pool's keys carry array/coords only, so it
+							// composes with a sharded store unchanged —
+							// including mid-plan eviction write-back routed
+							// to the right shard.
+							{buffer.PolicyLRU, 4 << 10, 2},
 						} {
 							pooled, pooledOut := runPlan(t, tc.prog, pl, runConfig{
-								format: format, workers: workers,
+								format: format, workers: workers, shards: pcfg.shards,
 								pool: true, poolPolicy: pcfg.policy, poolCap: pcfg.cap,
 							})
-							label := fmt.Sprintf("%s+pool-%s-cap%d", pl.Label, pcfg.policy, pcfg.cap)
+							label := fmt.Sprintf("%s+pool-%s-cap%d-shards%d", pl.Label, pcfg.policy, pcfg.cap, pcfg.shards)
 							assertIdentical(t, label, workers, seq, pooled, seqOut, pooledOut)
 						}
 					}

@@ -21,7 +21,9 @@ package govern
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 )
 
 // TenantConfig bounds and weights one tenant.
@@ -116,6 +118,56 @@ type Governor struct {
 	ring    []*tenantQueue // tenants with waiters, in rotation order
 	next    int            // persistent round-robin pointer into ring
 	closed  chan struct{}
+
+	// waits holds per-tenant admission-wait samples (Admit call → grant).
+	// Kept outside the tenant queues, which are reclaimed when drained:
+	// wait quantiles describe the governor's whole history. Bounded at
+	// maxWaitTenants windows (tenant labels are client-supplied strings);
+	// past the cap the longest-idle window is evicted.
+	waits    map[string]*waitWindow
+	grantSeq int64
+}
+
+// waitSamples bounds the per-tenant admission-wait window: a ring of the
+// most recent grants, enough for stable p99 estimates without unbounded
+// growth in a long-running daemon.
+const waitSamples = 4096
+
+// maxWaitTenants bounds how many tenants' wait windows the governor keeps
+// (a window is up to 32KB, and clients choose the tenant strings).
+const maxWaitTenants = 512
+
+// waitWindow is one tenant's sliding window of admission waits.
+type waitWindow struct {
+	count   int64 // grants ever recorded
+	lastSeq int64 // grant sequence of the latest record, for idle eviction
+	samples []time.Duration
+	next    int // ring position once len(samples) == waitSamples
+}
+
+func (w *waitWindow) record(d time.Duration) {
+	w.count++
+	if len(w.samples) < waitSamples {
+		w.samples = append(w.samples, d)
+		return
+	}
+	w.samples[w.next] = d
+	w.next = (w.next + 1) % waitSamples
+}
+
+// waitQuantile returns the q-th (0..1] quantile of a sorted sample set.
+func waitQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted))*q+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // New creates a governor.
@@ -135,6 +187,7 @@ func New(cfg Config) *Governor {
 		affinity: cfg.Affinity,
 		maxSkips: skips,
 		queues:   make(map[string]*tenantQueue),
+		waits:    make(map[string]*waitWindow),
 		closed:   make(chan struct{}),
 	}
 }
@@ -166,6 +219,7 @@ func (g *Governor) Admit(tenant string, peak int64, inputs []string) error {
 		return fmt.Errorf("govern: plan peak memory %d bytes exceeds tenant %q's quota %d", peak, tenant, tc.MemBytes)
 	}
 	w := &waiter{peak: peak, inputs: inputs, ready: make(chan struct{})}
+	enqueued := time.Now()
 	g.mu.Lock()
 	tq := g.queueLocked(tenant)
 	tq.waiters = append(tq.waiters, w)
@@ -176,6 +230,7 @@ func (g *Governor) Admit(tenant string, peak int64, inputs []string) error {
 	g.mu.Unlock()
 	select {
 	case <-w.ready:
+		g.recordWait(tenant, time.Since(enqueued))
 		return nil
 	case <-g.closed:
 		g.mu.Lock()
@@ -192,6 +247,7 @@ func (g *Governor) Admit(tenant string, peak int64, inputs []string) error {
 		select {
 		case <-w.ready:
 			g.mu.Unlock()
+			g.recordWait(tenant, time.Since(enqueued))
 			return nil
 		default:
 		}
@@ -439,6 +495,74 @@ func (g *Governor) dispatchLocked() {
 			}
 		}
 	}
+}
+
+// recordWait files one granted admission's queue wait under the tenant.
+func (g *Governor) recordWait(tenant string, d time.Duration) {
+	g.mu.Lock()
+	ww := g.waits[tenant]
+	if ww == nil {
+		if len(g.waits) >= maxWaitTenants {
+			// Evict the longest-idle tenant's window: labels are
+			// client-supplied, so the map must not grow unboundedly.
+			var coldest string
+			var coldestSeq int64
+			for name, w := range g.waits {
+				if coldest == "" || w.lastSeq < coldestSeq {
+					coldest, coldestSeq = name, w.lastSeq
+				}
+			}
+			delete(g.waits, coldest)
+		}
+		ww = &waitWindow{}
+		g.waits[tenant] = ww
+	}
+	g.grantSeq++
+	ww.lastSeq = g.grantSeq
+	ww.record(d)
+	g.mu.Unlock()
+}
+
+// WaitQuantiles summarizes one tenant's admission-wait distribution over
+// the most recent waitSamples grants.
+type WaitQuantiles struct {
+	// Count is the number of grants ever recorded for the tenant.
+	Count int64 `json:"count"`
+	// P50/P95/P99 are queue-wait percentiles (Admit call to grant).
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	P99 time.Duration `json:"p99"`
+}
+
+// TenantWaits snapshots per-tenant admission-wait quantiles for every
+// tenant that has ever been granted admission. The histogram lives in the
+// governor — the component that creates the wait — so the service can
+// report p95/p99 per tenant without clients computing them.
+func (g *Governor) TenantWaits() map[string]WaitQuantiles {
+	// Copy the sample windows under the lock, but sort them outside it:
+	// g.mu also serializes admission, and sorting thousands of samples per
+	// tenant under it would stall Admit/Release on every stats poll.
+	type snap struct {
+		count   int64
+		samples []time.Duration
+	}
+	g.mu.Lock()
+	snaps := make(map[string]snap, len(g.waits))
+	for name, ww := range g.waits {
+		snaps[name] = snap{count: ww.count, samples: append([]time.Duration(nil), ww.samples...)}
+	}
+	g.mu.Unlock()
+	out := make(map[string]WaitQuantiles, len(snaps))
+	for name, s := range snaps {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		out[name] = WaitQuantiles{
+			Count: s.count,
+			P50:   waitQuantile(s.samples, 0.50),
+			P95:   waitQuantile(s.samples, 0.95),
+			P99:   waitQuantile(s.samples, 0.99),
+		}
+	}
+	return out
 }
 
 // Load reports global occupancy: running queries and total queued waiters.

@@ -329,3 +329,102 @@ func TestCloseFailsWaiters(t *testing.T) {
 		t.Fatalf("running = %d after balanced release", running)
 	}
 }
+
+// TenantWaits must expose per-tenant admission-wait quantiles: monotone
+// p50 <= p95 <= p99, correct counts, and real queueing reflected in the
+// percentiles of a tenant that had to wait.
+func TestTenantWaitQuantiles(t *testing.T) {
+	g := New(Config{MaxConcurrent: 1})
+	defer g.Close()
+	if err := g.Admit("fast", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A second tenant queues behind the held slot for a measurable time.
+	const hold = 50 * time.Millisecond
+	done := make(chan error, 1)
+	go func() { done <- g.Admit("slow", 1, nil) }()
+	for {
+		if _, queued := g.Load(); queued == 1 {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	time.Sleep(hold)
+	g.Release("fast", 1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	g.Release("slow", 1)
+
+	waits := g.TenantWaits()
+	fast, ok := waits["fast"]
+	if !ok || fast.Count != 1 {
+		t.Fatalf("fast tenant waits = %+v", waits)
+	}
+	slow, ok := waits["slow"]
+	if !ok || slow.Count != 1 {
+		t.Fatalf("slow tenant waits = %+v", waits)
+	}
+	if slow.P95 < hold {
+		t.Errorf("slow tenant p95 = %v, want >= %v (it queued that long)", slow.P95, hold)
+	}
+	// Relative bound only: the fast tenant was admitted instantly, so even
+	// with scheduler noise its wait must stay below the tenant that
+	// provably queued for the whole hold.
+	if fast.P95 >= slow.P95 {
+		t.Errorf("fast tenant p95 = %v not below queued tenant's %v", fast.P95, slow.P95)
+	}
+	for name, wq := range waits {
+		if wq.P50 > wq.P95 || wq.P95 > wq.P99 {
+			t.Errorf("tenant %q quantiles not monotone: %+v", name, wq)
+		}
+	}
+}
+
+// The wait window must cap its memory: after far more grants than the
+// window holds, Count keeps the true total while quantiles reflect the
+// recent samples.
+func TestWaitWindowBounded(t *testing.T) {
+	ww := &waitWindow{}
+	const n = waitSamples * 2
+	for i := 0; i < n; i++ {
+		ww.record(time.Duration(i))
+	}
+	if ww.count != n {
+		t.Fatalf("count = %d, want %d", ww.count, n)
+	}
+	if len(ww.samples) != waitSamples {
+		t.Fatalf("window holds %d samples, want %d", len(ww.samples), waitSamples)
+	}
+	for _, s := range ww.samples {
+		if s < waitSamples {
+			t.Fatalf("old sample %v survived past the window", s)
+		}
+	}
+}
+
+// Tenant labels are client-supplied, so the wait-window map must stay
+// bounded: past maxWaitTenants, the longest-idle window is evicted and the
+// freshest tenants survive.
+func TestWaitTenantMapBounded(t *testing.T) {
+	g := New(Config{MaxConcurrent: 4})
+	defer g.Close()
+	name := func(i int) string { return "tenant-" + strings.Repeat("x", i%3) + time.Duration(i).String() }
+	for i := 0; i < maxWaitTenants+16; i++ {
+		n := name(i)
+		if err := g.Admit(n, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		g.Release(n, 1)
+	}
+	waits := g.TenantWaits()
+	if len(waits) > maxWaitTenants {
+		t.Fatalf("wait map holds %d tenants, cap %d", len(waits), maxWaitTenants)
+	}
+	if _, ok := waits[name(maxWaitTenants+15)]; !ok {
+		t.Error("freshest tenant's window was evicted instead of the longest-idle one")
+	}
+	if _, ok := waits[name(0)]; ok {
+		t.Error("longest-idle tenant's window survived past the cap")
+	}
+}

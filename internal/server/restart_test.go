@@ -1,0 +1,213 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"riotshare/internal/prog"
+)
+
+// removeShardManifest deletes one shard's manifest under the server's
+// default Dir/shard-N layout, simulating a lost or wrong shard directory.
+func removeShardManifest(dir string, shard int) error {
+	return os.Remove(filepath.Join(dir, fmt.Sprintf("shard-%d", shard), "MANIFEST.json"))
+}
+
+// inputBlockCount sums the stored blocks of a program's shared inputs —
+// exactly the physical writes FillInput issues for them.
+func inputBlockCount(p *prog.Program) int64 {
+	var n int64
+	written := writtenArrays(p)
+	for name, arr := range p.Arrays {
+		if !written[name] {
+			n += int64(arr.GridRows) * int64(arr.GridCols)
+		}
+	}
+	return n
+}
+
+// runOne submits the program and waits for completion, returning the final
+// status.
+func runOne(t *testing.T, s *Server, program string) QueryStatus {
+	t.Helper()
+	id, err := s.Submit(Request{Program: program})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("query %s: %s (%s)", id, st.State, st.Err)
+	}
+	return st
+}
+
+// TestServerRestartPersistedInputs is the persistence acceptance test: a
+// server over a sharded, persistent store fills its shared inputs once;
+// a second server reopening the same directories answers the same query
+// with identical results and ZERO refill writes — every write the reopened
+// process issues is an output write, none touch the persisted inputs.
+func TestServerRestartPersistedInputs(t *testing.T) {
+	progs := map[string]func() *prog.Program{"addmul-small": smallAddMul}
+	cfg := Config{
+		Dir:      t.TempDir(),
+		Shards:   2,
+		Persist:  true,
+		Seed:     testSeed,
+		Programs: progs,
+	}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := runOne(t, s1, "addmul-small")
+	st1 := s1.Stats()
+	if st1.InputFills == 0 || st1.InputFillsSkipped != 0 {
+		t.Fatalf("fresh server: InputFills=%d skipped=%d, want fills>0 skipped=0", st1.InputFills, st1.InputFillsSkipped)
+	}
+	if len(st1.Shards) != 2 {
+		t.Fatalf("sharded server reported %d shard stats, want 2", len(st1.Shards))
+	}
+	firstWrites := st1.Store.WriteReqs
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	second := runOne(t, s2, "addmul-small")
+	st2 := s2.Stats()
+
+	// The catalog served every shared input; nothing was refilled.
+	if st2.InputFills != 0 {
+		t.Errorf("reopened server refilled %d inputs, want 0", st2.InputFills)
+	}
+	if st2.InputFillsSkipped == 0 {
+		t.Error("reopened server skipped no input fills — the catalog was not used")
+	}
+
+	// Zero refill writes: the reopened run's physical writes are exactly
+	// the fresh run's minus the one-time input fill.
+	fillWrites := inputBlockCount(smallAddMul())
+	if got, want := st2.Store.WriteReqs, firstWrites-fillWrites; got != want {
+		t.Errorf("reopened server issued %d physical writes, want %d (fresh %d minus %d fill writes)",
+			got, want, firstWrites, fillWrites)
+	}
+
+	// Same plan, same persisted data → bit-identical results and outputs.
+	if first.Result == nil || second.Result == nil {
+		t.Fatal("missing results")
+	}
+	r1, r2 := *first.Result, *second.Result
+	r1.CPUTime, r2.CPUTime = 0, 0
+	if r1 != r2 {
+		t.Errorf("Result diverged across restart:\nfresh:  %+v\nreopen: %+v", r1, r2)
+	}
+	if len(first.Outputs) == 0 || len(first.Outputs) != len(second.Outputs) {
+		t.Fatalf("outputs: fresh %d vs reopen %d", len(first.Outputs), len(second.Outputs))
+	}
+	for i := range first.Outputs {
+		if first.Outputs[i].Sum != second.Outputs[i].Sum {
+			t.Errorf("output %s sum %v before restart, %v after (not identical data)",
+				first.Outputs[i].Array, first.Outputs[i].Sum, second.Outputs[i].Sum)
+		}
+	}
+	m1, err := s2.Output(second.ID, second.Outputs[0].Array)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == nil {
+		t.Fatal("nil output matrix")
+	}
+}
+
+// A reopened server whose expected fill no longer matches the catalog
+// (different seed → different fingerprint) must refill rather than serve
+// the stale persisted data.
+func TestServerRestartFingerprintMismatchRefills(t *testing.T) {
+	progs := map[string]func() *prog.Program{"addmul-small": smallAddMul}
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Shards: 2, Persist: true, Seed: testSeed, Programs: progs}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := runOne(t, s1, "addmul-small")
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Seed = testSeed + 1 // the fill the server would produce changes
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	fresh := runOne(t, s2, "addmul-small")
+	st := s2.Stats()
+	if st.InputFills == 0 || st.InputFillsSkipped != 0 {
+		t.Errorf("fingerprint mismatch did not force a refill: fills=%d skipped=%d", st.InputFills, st.InputFillsSkipped)
+	}
+	// Different seed, different data: serving the stale outputs would make
+	// these sums match.
+	same := true
+	for i := range fresh.Outputs {
+		if fresh.Outputs[i].Sum != stale.Outputs[i].Sum {
+			same = false
+		}
+	}
+	if same {
+		t.Error("reopened server served results from the stale seed's data")
+	}
+
+	// And a matching reopen after the refill skips again, with the new
+	// fingerprint.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	runOne(t, s3, "addmul-small")
+	if st := s3.Stats(); st.InputFills != 0 || st.InputFillsSkipped == 0 {
+		t.Errorf("third open after refill: fills=%d skipped=%d, want 0/>0", st.InputFills, st.InputFillsSkipped)
+	}
+}
+
+// A server reopening a store with a missing shard directory must fail with
+// an error naming the shard — not silently rebuild half a store.
+func TestServerRestartMissingShard(t *testing.T) {
+	progs := map[string]func() *prog.Program{"addmul-small": smallAddMul}
+	cfg := Config{Dir: t.TempDir(), Shards: 3, Persist: true, Seed: testSeed, Programs: progs}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOne(t, s1, "addmul-small")
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Losing shard-1's manifest looks like a lost/wrong directory.
+	if err := removeShardManifest(cfg.Dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(cfg)
+	if err == nil {
+		t.Fatal("reopen over a broken shard succeeded")
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("error does not name the broken shard: %v", err)
+	}
+}

@@ -20,12 +20,15 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"riotshare/internal/bench"
@@ -41,10 +44,27 @@ import (
 
 // Config sizes the service.
 type Config struct {
-	// Dir hosts the physical block files (required).
+	// Dir hosts the physical block files (required unless ShardDirs is
+	// set). With Shards > 1 the blocks live under Dir/shard-0 … shard-N-1.
 	Dir string
 	// Format selects the on-disk block format (default DAF).
 	Format storage.Format
+	// Shards stripes the block store across N shard directories —
+	// stand-ins for devices — with deterministic block placement (<= 1 and
+	// no ShardDirs = the classic single-directory manager). Results are
+	// bit-identical across shard counts.
+	Shards int
+	// ShardDirs names the shard directories explicitly (separate devices
+	// or mounts); it overrides Shards/Dir-derived layout. Order matters
+	// and is validated against the persisted manifests.
+	ShardDirs []string
+	// Placement selects the block→shard mapping ("" or "hash", "rows").
+	Placement string
+	// Persist keeps shared input arrays across server restarts: array
+	// metadata and fill fingerprints are cataloged in a per-shard-root
+	// manifest, and a server reopening the same directories skips
+	// refilling any input whose fingerprint matches.
+	Persist bool
 	// PoolBytes is the shared buffer pool's soft capacity (0 = unlimited).
 	PoolBytes int64
 	// PoolPolicy selects the pool's replacement policy: "" or "lru" for
@@ -177,6 +197,12 @@ type TenantStats struct {
 	Submitted      int64   `json:"submitted"`
 	Finished       int64   `json:"finished"`
 	AvgQueueWaitMs float64 `json:"avgQueueWaitMs"`
+	// Queue-wait percentiles (admission request to grant), computed by the
+	// governor over its recent-grants window — the server-side view the
+	// fairness acceptance criteria are asserted against.
+	QueueWaitP50Ms float64 `json:"queueWaitP50Ms"`
+	QueueWaitP95Ms float64 `json:"queueWaitP95Ms"`
+	QueueWaitP99Ms float64 `json:"queueWaitP99Ms"`
 	PoolHits       int64   `json:"poolHits"`
 	PoolMisses     int64   `json:"poolMisses"`
 	PoolHitRate    float64 `json:"poolHitRate"`
@@ -185,15 +211,26 @@ type TenantStats struct {
 }
 
 // Stats reports service-wide counters: the shared pool, physical storage
-// I/O, admission, the plan cache, and the per-tenant breakdown.
+// I/O (aggregate and per shard), admission, the plan cache, shared-input
+// persistence, and the per-tenant breakdown.
 type Stats struct {
 	Pool  buffer.Stats  `json:"pool"`
 	Store storage.Stats `json:"store"`
+	// Shards breaks physical I/O down per shard directory when the block
+	// store is sharded (nil on the single-directory path) — the
+	// per-device utilization view.
+	Shards []storage.ShardStats `json:"shards,omitempty"`
 
 	Running   int   `json:"running"`
 	Queued    int   `json:"queued"`
 	Submitted int64 `json:"submitted"`
 	Finished  int64 `json:"finished"`
+
+	// InputFills counts shared inputs synthesized and written by this
+	// process; InputFillsSkipped counts inputs served from the persisted
+	// catalog with zero refill writes (fingerprint match on reopen).
+	InputFills        int64 `json:"inputFills"`
+	InputFillsSkipped int64 `json:"inputFillsSkipped"`
 
 	PlanCacheHits   int64 `json:"planCacheHits"`
 	PlanCacheMisses int64 `json:"planCacheMisses"`
@@ -206,8 +243,13 @@ type Stats struct {
 // Server is the multi-query analytics service.
 type Server struct {
 	cfg   Config
-	store *storage.Manager
-	pool  *buffer.Pool
+	store storage.Backend
+	// sharded is the catalog-bearing view of store when the service runs
+	// sharded and/or persistent; nil on the classic single-directory path.
+	sharded *storage.ShardedManager
+	pool    *buffer.Pool
+
+	inputFills, inputFillsSkipped atomic.Int64
 
 	mu        sync.Mutex
 	queries   map[string]*query
@@ -253,15 +295,40 @@ type inputState struct {
 	err   error
 }
 
-// New creates a service with its shared storage manager and buffer pool.
+// New creates a service with its shared storage backend and buffer pool.
+// With Shards > 1, ShardDirs, or Persist set, the backend is a sharded
+// store; with Persist it reopens an existing data directory, restoring the
+// shared-input catalog so matching inputs are served without a refill.
 func New(cfg Config) (*Server, error) {
-	if cfg.Dir == "" {
-		return nil, errors.New("server: Config.Dir required")
+	if cfg.Dir == "" && len(cfg.ShardDirs) == 0 {
+		return nil, errors.New("server: Config.Dir or Config.ShardDirs required")
 	}
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2
 	}
-	m, err := storage.NewManager(cfg.Dir, cfg.Format)
+	var (
+		m       storage.Backend
+		sharded *storage.ShardedManager
+		err     error
+	)
+	if cfg.Shards > 1 || len(cfg.ShardDirs) > 0 || cfg.Persist || cfg.Placement != "" {
+		dirs := cfg.ShardDirs
+		if len(dirs) == 0 {
+			n := cfg.Shards
+			if n <= 1 {
+				n = 1
+			}
+			dirs = storage.ShardDirs(cfg.Dir, n)
+		}
+		sharded, err = storage.OpenSharded(dirs, storage.ShardedOptions{
+			Format:    cfg.Format,
+			Placement: cfg.Placement,
+			Persist:   cfg.Persist,
+		})
+		m = sharded
+	} else {
+		m, err = storage.NewManager(cfg.Dir, cfg.Format)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -296,6 +363,7 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:       cfg,
 		store:     m,
+		sharded:   sharded,
 		pool:      pool,
 		queries:   make(map[string]*query),
 		planCache: make(map[string]*planEntry),
@@ -308,8 +376,8 @@ func New(cfg Config) (*Server, error) {
 // Pool exposes the shared buffer pool (read-mostly: stats, flush).
 func (s *Server) Pool() *buffer.Pool { return s.pool }
 
-// Store exposes the shared storage manager.
-func (s *Server) Store() *storage.Manager { return s.store }
+// Store exposes the shared storage backend.
+func (s *Server) Store() storage.Backend { return s.store }
 
 // Submit validates and enqueues a request, returning the query ID. The
 // query runs asynchronously; use Wait, Status, or the HTTP API to follow
@@ -647,12 +715,7 @@ func (s *Server) ensureInput(arr *prog.Array) error {
 	st := &inputState{ready: make(chan struct{}), arr: arr}
 	s.inputs[arr.Name] = st
 	s.inputMu.Unlock()
-	st.err = func() error {
-		if err := s.store.Create(arr); err != nil {
-			return err
-		}
-		return FillInput(s.store, arr, s.cfg.Seed)
-	}()
+	st.err = s.fillInput(arr)
 	if st.err != nil {
 		// Do not poison the input name for the daemon's lifetime: retire
 		// the half-created store and let a later query retry the fill.
@@ -666,6 +729,49 @@ func (s *Server) ensureInput(arr *prog.Array) error {
 		return fmt.Errorf("server: shared input %s: %w", arr.Name, st.err)
 	}
 	return nil
+}
+
+// fillInput creates and fills one shared input — unless the persistent
+// catalog already holds it under a matching fill fingerprint, in which case
+// the reopened store serves it with zero refill writes. A cataloged entry
+// whose fingerprint does not match the expected fill (different seed,
+// shape, or fill version) is retired and refilled: the catalog never lets
+// stale data answer queries.
+func (s *Server) fillInput(arr *prog.Array) error {
+	fp := FillFingerprint(arr, s.cfg.Seed)
+	if s.sharded != nil {
+		if e, ok := s.sharded.SharedEntry(arr.Name); ok {
+			if e.Fingerprint == fp && sameShape(e.Array(arr.Name), arr) {
+				s.inputFillsSkipped.Add(1)
+				return nil
+			}
+			if err := s.sharded.Drop(arr.Name, true); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.store.Create(arr); err != nil {
+		return err
+	}
+	if err := FillInput(s.store, arr, s.cfg.Seed); err != nil {
+		return err
+	}
+	s.inputFills.Add(1)
+	if s.sharded != nil {
+		return s.sharded.RecordShared(arr, fp)
+	}
+	return nil
+}
+
+// FillFingerprint identifies the deterministic synthetic fill of one input
+// array: fill-algorithm version, seed, array name, and block/grid shape.
+// Any change to these changes the data FillInput would produce, so a
+// persisted store whose cataloged fingerprint matches may be served without
+// a refill, and a mismatch forces one.
+func FillFingerprint(arr *prog.Array, seed int64) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("riotshare-fill-v1|seed=%d|array=%s|block=%dx%d|grid=%dx%d",
+		seed, arr.Name, arr.BlockRows, arr.BlockCols, arr.GridRows, arr.GridCols)))
+	return hex.EncodeToString(h[:])
 }
 
 // writtenArrays collects the arrays the program writes; the rest are its
@@ -703,7 +809,7 @@ func sameShape(a, b *prog.Array) bool {
 // FillInput writes deterministic pseudo-random blocks for one input array.
 // The sequence depends only on (seed, array name), so any process — the
 // server or a standalone run validating it — produces identical data.
-func FillInput(m *storage.Manager, arr *prog.Array, seed int64) error {
+func FillInput(m storage.Backend, arr *prog.Array, seed int64) error {
 	h := fnv.New64a()
 	h.Write([]byte(arr.Name))
 	rng := rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
@@ -753,7 +859,7 @@ func (s *Server) collectOutputs(q *query, alias map[string]string) ([]OutputInfo
 
 // readFullArray assembles a stored array (under its physical name) into
 // one matrix.
-func readFullArray(m *storage.Manager, arr *prog.Array, phys string) (*blas.Matrix, error) {
+func readFullArray(m storage.Backend, arr *prog.Array, phys string) (*blas.Matrix, error) {
 	full := blas.NewMatrix(arr.BlockRows*arr.GridRows, arr.BlockCols*arr.GridCols)
 	for br := 0; br < arr.GridRows; br++ {
 		for bc := 0; bc < arr.GridCols; bc++ {
@@ -848,6 +954,7 @@ func (s *Server) List() []QueryStatus {
 func (s *Server) Stats() Stats {
 	running, queued := s.gov.Load()
 	loads := s.gov.TenantLoads()
+	waits := s.gov.TenantWaits()
 	s.mu.Lock()
 	submitted, finished := s.submitted, s.finished
 	s.mu.Unlock()
@@ -855,14 +962,19 @@ func (s *Server) Stats() Stats {
 	hits, misses := s.planHits, s.planMisses
 	s.planMu.Unlock()
 	st := Stats{
-		Pool:            s.pool.Stats(),
-		Store:           s.store.Stats(),
-		Running:         running,
-		Queued:          queued,
-		Submitted:       submitted,
-		Finished:        finished,
-		PlanCacheHits:   hits,
-		PlanCacheMisses: misses,
+		Pool:              s.pool.Stats(),
+		Store:             s.store.Stats(),
+		Running:           running,
+		Queued:            queued,
+		Submitted:         submitted,
+		Finished:          finished,
+		PlanCacheHits:     hits,
+		PlanCacheMisses:   misses,
+		InputFills:        s.inputFills.Load(),
+		InputFillsSkipped: s.inputFillsSkipped.Load(),
+	}
+	if s.sharded != nil {
+		st.Shards = s.sharded.ShardStats()
 	}
 	// Per-tenant view: union of the governor's occupancy, the server's
 	// lifecycle counters, and the pool's per-tenant slice.
@@ -872,6 +984,9 @@ func (s *Server) Stats() Stats {
 		names[name] = true
 	}
 	for name := range loads {
+		names[name] = true
+	}
+	for name := range waits {
 		names[name] = true
 	}
 	for name := range st.Pool.Tenants {
@@ -889,6 +1004,11 @@ func (s *Server) Stats() Stats {
 				if tc.admissions > 0 {
 					ts.AvgQueueWaitMs = float64(tc.waitTotal.Milliseconds()) / float64(tc.admissions)
 				}
+			}
+			if wq, ok := waits[name]; ok {
+				ts.QueueWaitP50Ms = float64(wq.P50) / float64(time.Millisecond)
+				ts.QueueWaitP95Ms = float64(wq.P95) / float64(time.Millisecond)
+				ts.QueueWaitP99Ms = float64(wq.P99) / float64(time.Millisecond)
 			}
 			if ps, ok := st.Pool.Tenants[name]; ok {
 				ts.PoolHits, ts.PoolMisses = ps.Hits, ps.Misses

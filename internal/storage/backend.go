@@ -1,0 +1,43 @@
+package storage
+
+import (
+	"time"
+
+	"riotshare/internal/blas"
+	"riotshare/internal/prog"
+)
+
+// Backend is the block-storage abstraction the rest of the system runs
+// over: array registration, physical block I/O, retirement, physical I/O
+// counters, and the simulated-device latency knob the pipelining and
+// sharding experiments drive. *Manager is the single-directory
+// implementation; *ShardedManager stripes blocks across several shard
+// directories (stand-ins for devices) behind the same interface, so the
+// buffer pool, the execution engines, and the multi-query server are
+// placement-agnostic.
+type Backend interface {
+	// Create opens (or reopens) the store for an array; CreateAll does so
+	// for every array of a program.
+	Create(arr *prog.Array) error
+	CreateAll(p *prog.Program) error
+	// WriteBlock and ReadBlock move one block; concurrent reads of the
+	// same block coalesce onto one physical request.
+	WriteBlock(array string, r, c int64, blk *blas.Matrix) error
+	ReadBlock(array string, r, c int64) (*blas.Matrix, error)
+	// Drop closes and unregisters one array's store, optionally deleting
+	// its file(s).
+	Drop(array string, deleteFile bool) error
+	// Stats snapshots the physical I/O performed since creation.
+	Stats() Stats
+	// SetLatency configures the simulated per-request device latency
+	// (zero disables). On a sharded backend each shard is its own device
+	// and sleeps independently.
+	SetLatency(read, write time.Duration)
+	// Close closes every store.
+	Close() error
+}
+
+var (
+	_ Backend = (*Manager)(nil)
+	_ Backend = (*ShardedManager)(nil)
+)

@@ -158,6 +158,13 @@ type Manager struct {
 	// storage; zero (the default) disables the simulation.
 	ReadLatency  time.Duration
 	WriteLatency time.Duration
+	// SerialDevice serializes the simulated latency sleeps, modeling a
+	// device that serves one request at a time (a single disk head). With
+	// it, concurrent requests to one manager queue behind each other —
+	// which is what makes striping across several managers (shards)
+	// measurably faster for parallel reads.
+	SerialDevice bool
+	deviceMu     sync.Mutex
 
 	mu     sync.RWMutex // guards stores/arrays registration
 	stores map[string]BlockStore
@@ -182,6 +189,26 @@ type Manager struct {
 type Stats struct {
 	ReadReqs, ReadBytes   int64
 	WriteReqs, WriteBytes int64
+}
+
+// SetLatency configures the simulated per-request device latency (zero
+// disables). Call it before issuing I/O; it is not synchronized with
+// in-flight requests.
+func (m *Manager) SetLatency(read, write time.Duration) {
+	m.ReadLatency, m.WriteLatency = read, write
+}
+
+// simulate sleeps for one simulated device request; on a serial device the
+// sleep holds the device, queueing concurrent requests behind it.
+func (m *Manager) simulate(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if m.SerialDevice {
+		m.deviceMu.Lock()
+		defer m.deviceMu.Unlock()
+	}
+	time.Sleep(d)
 }
 
 // Stats returns the physical I/O performed since the manager was created:
@@ -264,9 +291,7 @@ func (m *Manager) WriteBlock(array string, r, c int64, blk *blas.Matrix) error {
 	if err != nil {
 		return err
 	}
-	if m.WriteLatency > 0 {
-		time.Sleep(m.WriteLatency)
-	}
+	m.simulate(m.WriteLatency)
 	if blk.Rows != arr.BlockRows || blk.Cols != arr.BlockCols {
 		return fmt.Errorf("storage: block shape %dx%d, array %s wants %dx%d",
 			blk.Rows, blk.Cols, array, arr.BlockRows, arr.BlockCols)
@@ -324,9 +349,7 @@ func (m *Manager) readBlock(array string, r, c int64) (*blas.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m.ReadLatency > 0 {
-		time.Sleep(m.ReadLatency)
-	}
+	m.simulate(m.ReadLatency)
 	buf, err := st.Read(m.Linearize(r, c, arr.GridRows, arr.GridCols))
 	if err != nil {
 		return nil, fmt.Errorf("storage: read %s[%d,%d]: %w", array, r, c, err)

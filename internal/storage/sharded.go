@@ -1,0 +1,490 @@
+// sharded.go stripes a block store across several shard directories —
+// stand-ins for independent devices (or, with network mounts, machines).
+// Every block of every array is owned by exactly one shard, chosen by a
+// deterministic placement function of the array name and block coordinates,
+// so any process opening the same directories sees the same layout. Each
+// shard is a full single-directory Manager: physical I/O counters stay
+// per-shard (per-device utilization is visible), concurrent reads of blocks
+// on different shards proceed in parallel (each shard is its own simulated
+// device), and coalescing still works because one block always routes to
+// one shard.
+//
+// A sharded store can be persistent: a manifest (MANIFEST.json, written
+// atomically via rename) in every shard root records the layout (format,
+// shard count, placement) and a catalog of shared input arrays — metadata
+// plus the fill fingerprint of their synthetic data. Reopening the same
+// directories restores the catalog, so a restarted server can serve
+// persisted inputs without refilling them.
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"riotshare/internal/blas"
+	"riotshare/internal/prog"
+)
+
+// Placement names and functions. A placement maps (array, block row, block
+// col) to the owning shard; it must be deterministic, so every open of the
+// same directories routes blocks identically.
+const (
+	// PlacementHash stripes by an FNV-1a hash of the array name and block
+	// coordinates — statistically even across shards for any access
+	// pattern.
+	PlacementHash = "hash"
+	// PlacementRows round-robins whole grid rows across shards: shard =
+	// block-row mod N. Row-panel scans then stream from one device while
+	// column sweeps fan out across all of them.
+	PlacementRows = "rows"
+)
+
+// PlacementFunc maps one block to its owning shard in [0, shards).
+type PlacementFunc func(array string, r, c int64, shards int) int
+
+// HashPlacement is PlacementHash.
+func HashPlacement(array string, r, c int64, shards int) int {
+	h := fnv.New64a()
+	h.Write([]byte(array))
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(c))
+	h.Write(buf[:])
+	return int(h.Sum64() % uint64(shards))
+}
+
+// RowPlacement is PlacementRows.
+func RowPlacement(array string, r, c int64, shards int) int {
+	return int(uint64(r) % uint64(shards))
+}
+
+// placementByName resolves a placement name ("" defaults to hash).
+func placementByName(name string) (PlacementFunc, string, error) {
+	switch name {
+	case "", PlacementHash:
+		return HashPlacement, PlacementHash, nil
+	case PlacementRows:
+		return RowPlacement, PlacementRows, nil
+	default:
+		return nil, "", fmt.Errorf("storage: unknown placement %q (%s, %s)", name, PlacementHash, PlacementRows)
+	}
+}
+
+// manifestName is the per-shard-root manifest file.
+const manifestName = "MANIFEST.json"
+
+// manifestVersion guards the on-disk manifest schema.
+const manifestVersion = 1
+
+// CatalogEntry is one cataloged (persistent) array: enough metadata to
+// reopen its stores, plus the fill fingerprint identifying its synthetic
+// contents.
+type CatalogEntry struct {
+	BlockRows int `json:"blockRows"`
+	BlockCols int `json:"blockCols"`
+	GridRows  int `json:"gridRows"`
+	GridCols  int `json:"gridCols"`
+	// LogicalBlockBytes preserves paper-scale I/O accounting across
+	// restarts (it may exceed the physical block size on scaled-down
+	// data).
+	LogicalBlockBytes int64 `json:"logicalBlockBytes"`
+	// Fingerprint identifies the deterministic synthetic fill (seed, name,
+	// shape, fill version). A server reopening the store skips refilling
+	// an input whose expected fingerprint matches; a mismatch forces a
+	// refill instead of serving stale data.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// Array rebuilds the array metadata a catalog entry describes.
+func (e CatalogEntry) Array(name string) *prog.Array {
+	return &prog.Array{
+		Name:      name,
+		BlockRows: e.BlockRows, BlockCols: e.BlockCols,
+		GridRows: e.GridRows, GridCols: e.GridCols,
+		LogicalBlockBytes: e.LogicalBlockBytes,
+	}
+}
+
+// entryFor catalogs an array.
+func entryFor(arr *prog.Array, fingerprint string) CatalogEntry {
+	return CatalogEntry{
+		BlockRows: arr.BlockRows, BlockCols: arr.BlockCols,
+		GridRows: arr.GridRows, GridCols: arr.GridCols,
+		LogicalBlockBytes: arr.LogicalBlockBytes,
+		Fingerprint:       fingerprint,
+	}
+}
+
+// manifest is the persisted per-shard-root layout + catalog.
+type manifest struct {
+	Version    int                     `json:"version"`
+	Format     string                  `json:"format"`
+	Shards     int                     `json:"shards"`
+	ShardIndex int                     `json:"shardIndex"`
+	Placement  string                  `json:"placement"`
+	Arrays     map[string]CatalogEntry `json:"arrays"`
+}
+
+// ShardedOptions configures OpenSharded.
+type ShardedOptions struct {
+	// Format selects the per-shard on-disk block format (default DAF).
+	Format Format
+	// Placement selects the block→shard mapping by name ("" or "hash",
+	// "rows").
+	Placement string
+	// Persist enables the manifest catalog: the layout is validated (or
+	// written) at open, and shared arrays recorded with RecordShared
+	// survive restarts.
+	Persist bool
+	// SerialDevice makes each shard serve one simulated-latency request at
+	// a time (see Manager.SerialDevice) — the regime where striping across
+	// shards buys parallel read bandwidth.
+	SerialDevice bool
+}
+
+// ShardedManager stripes blocks across N shard directories behind the
+// Backend interface. It is safe for concurrent use; requests to different
+// shards proceed in parallel.
+type ShardedManager struct {
+	dirs      []string
+	shards    []*Manager
+	format    Format
+	place     PlacementFunc
+	placeName string
+	persist   bool
+
+	mu       sync.Mutex
+	catalog  map[string]CatalogEntry
+	reopened bool
+}
+
+// OpenSharded opens (or creates) a sharded store over the given shard
+// directories. With Persist set it validates any existing manifests — a
+// missing or corrupt shard is reported by index and path — loads the shared
+// catalog, and reopens the stores of every cataloged array; a cataloged
+// array whose store files have gone missing is dropped from the catalog
+// (forcing a refill) rather than served as empty data.
+func OpenSharded(dirs []string, opt ShardedOptions) (*ShardedManager, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("storage: OpenSharded needs at least one shard directory")
+	}
+	place, placeName, err := placementByName(opt.Placement)
+	if err != nil {
+		return nil, err
+	}
+	sm := &ShardedManager{
+		dirs:      dirs,
+		format:    opt.Format,
+		place:     place,
+		placeName: placeName,
+		persist:   opt.Persist,
+		catalog:   make(map[string]CatalogEntry),
+	}
+	if opt.Persist {
+		if err := sm.loadManifests(); err != nil {
+			return nil, err
+		}
+	}
+	for _, dir := range dirs {
+		m, err := NewManager(dir, opt.Format)
+		if err != nil {
+			return nil, fmt.Errorf("storage: shard %s: %w", dir, err)
+		}
+		m.SerialDevice = opt.SerialDevice
+		sm.shards = append(sm.shards, m)
+	}
+	if opt.Persist {
+		if err := sm.reopenCatalog(); err != nil {
+			sm.Close()
+			return nil, err
+		}
+		if err := sm.saveManifests(); err != nil {
+			sm.Close()
+			return nil, err
+		}
+	}
+	return sm, nil
+}
+
+// loadManifests reads and cross-validates the per-shard manifests. Either
+// no shard has one (a fresh store) or every shard must carry a structurally
+// consistent one; anything else is a clean error naming the shard. Array
+// entries that diverge across shards (a crash between manifest writes) are
+// dropped from the effective catalog so their inputs get refilled instead
+// of served stale.
+func (sm *ShardedManager) loadManifests() error {
+	manifests := make([]*manifest, len(sm.dirs))
+	found := 0
+	for i, dir := range sm.dirs {
+		data, err := os.ReadFile(filepath.Join(dir, manifestName))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("storage: shard %d (%s): read manifest: %w", i, dir, err)
+		}
+		var mf manifest
+		if err := json.Unmarshal(data, &mf); err != nil {
+			return fmt.Errorf("storage: shard %d (%s): corrupt manifest: %w", i, dir, err)
+		}
+		manifests[i] = &mf
+		found++
+	}
+	if found == 0 {
+		return nil // fresh store: manifests are written at open
+	}
+	for i, mf := range manifests {
+		if mf == nil {
+			return fmt.Errorf("storage: shard %d (%s): manifest missing while %d other shard(s) have one — shard directory lost or wrong -shard-dirs", i, sm.dirs[i], found)
+		}
+		if mf.Version != manifestVersion {
+			return fmt.Errorf("storage: shard %d (%s): manifest version %d, want %d", i, sm.dirs[i], mf.Version, manifestVersion)
+		}
+		if mf.Format != sm.format.String() {
+			return fmt.Errorf("storage: shard %d (%s): stored format %q, opened as %q", i, sm.dirs[i], mf.Format, sm.format.String())
+		}
+		if mf.Shards != len(sm.dirs) {
+			return fmt.Errorf("storage: shard %d (%s): store was written with %d shard(s), reopened with %d — block placement would not match", i, sm.dirs[i], mf.Shards, len(sm.dirs))
+		}
+		if mf.ShardIndex != i {
+			return fmt.Errorf("storage: shard %d (%s): directory is shard %d of the store — shard directories are ordered", i, sm.dirs[i], mf.ShardIndex)
+		}
+		if mf.Placement != sm.placeName {
+			return fmt.Errorf("storage: shard %d (%s): store was written with placement %q, reopened with %q", i, sm.dirs[i], mf.Placement, sm.placeName)
+		}
+	}
+	// Effective catalog: entries identical across every shard.
+	for name, e := range manifests[0].Arrays {
+		same := true
+		for _, mf := range manifests[1:] {
+			if other, ok := mf.Arrays[name]; !ok || other != e {
+				same = false
+				break
+			}
+		}
+		if same {
+			sm.catalog[name] = e
+		}
+	}
+	sm.reopened = true
+	return nil
+}
+
+// reopenCatalog reopens the stores of every cataloged array. An array whose
+// store file is missing in any shard is dropped from the catalog: its data
+// is gone, and refilling beats silently serving zeros from a fresh file.
+func (sm *ShardedManager) reopenCatalog() error {
+	for name, e := range sm.catalog {
+		intact := true
+		for _, m := range sm.shards {
+			if _, err := os.Stat(filepath.Join(m.Dir, name+"."+sm.format.String())); err != nil {
+				intact = false
+				break
+			}
+		}
+		if !intact {
+			delete(sm.catalog, name)
+			continue
+		}
+		if err := sm.createStores(e.Array(name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// saveManifests writes the manifest to every shard root, each atomically
+// (temp file + rename), so a reader never observes a torn manifest.
+func (sm *ShardedManager) saveManifests() error {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.saveManifestsLocked()
+}
+
+func (sm *ShardedManager) saveManifestsLocked() error {
+	if !sm.persist {
+		return nil
+	}
+	for i, dir := range sm.dirs {
+		mf := manifest{
+			Version:    manifestVersion,
+			Format:     sm.format.String(),
+			Shards:     len(sm.dirs),
+			ShardIndex: i,
+			Placement:  sm.placeName,
+			Arrays:     sm.catalog,
+		}
+		data, err := json.MarshalIndent(&mf, "", "  ")
+		if err != nil {
+			return err
+		}
+		tmp := filepath.Join(dir, manifestName+".tmp")
+		if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("storage: shard %d (%s): write manifest: %w", i, dir, err)
+		}
+		if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+			return fmt.Errorf("storage: shard %d (%s): commit manifest: %w", i, dir, err)
+		}
+	}
+	return nil
+}
+
+// createStores opens the array's store in every shard (each shard holds the
+// blocks the placement routes to it).
+func (sm *ShardedManager) createStores(arr *prog.Array) error {
+	for i, m := range sm.shards {
+		if err := m.Create(arr); err != nil {
+			return fmt.Errorf("storage: shard %d (%s): %w", i, sm.dirs[i], err)
+		}
+	}
+	return nil
+}
+
+// Create opens the store for an array in every shard.
+func (sm *ShardedManager) Create(arr *prog.Array) error {
+	return sm.createStores(arr)
+}
+
+// CreateAll opens stores for every array of a program.
+func (sm *ShardedManager) CreateAll(p *prog.Program) error {
+	for _, arr := range p.Arrays {
+		if err := sm.Create(arr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardFor routes one block.
+func (sm *ShardedManager) shardFor(array string, r, c int64) *Manager {
+	return sm.shards[sm.place(array, r, c, len(sm.shards))]
+}
+
+// WriteBlock stores one block on its owning shard.
+func (sm *ShardedManager) WriteBlock(array string, r, c int64, blk *blas.Matrix) error {
+	return sm.shardFor(array, r, c).WriteBlock(array, r, c, blk)
+}
+
+// ReadBlock fetches one block from its owning shard. Concurrent reads of
+// blocks on different shards proceed fully in parallel (independent
+// devices); concurrent reads of the same block coalesce inside its shard.
+func (sm *ShardedManager) ReadBlock(array string, r, c int64) (*blas.Matrix, error) {
+	return sm.shardFor(array, r, c).ReadBlock(array, r, c)
+}
+
+// Drop closes and unregisters the array's stores on every shard and, if the
+// array was cataloged, removes it from the persisted catalog.
+func (sm *ShardedManager) Drop(array string, deleteFile bool) error {
+	var first error
+	for _, m := range sm.shards {
+		if err := m.Drop(array, deleteFile); err != nil && first == nil {
+			first = err
+		}
+	}
+	sm.mu.Lock()
+	if _, ok := sm.catalog[array]; ok {
+		delete(sm.catalog, array)
+		if err := sm.saveManifestsLocked(); err != nil && first == nil {
+			first = err
+		}
+	}
+	sm.mu.Unlock()
+	return first
+}
+
+// Stats sums the physical I/O counters across shards.
+func (sm *ShardedManager) Stats() Stats {
+	var total Stats
+	for _, m := range sm.shards {
+		st := m.Stats()
+		total.ReadReqs += st.ReadReqs
+		total.ReadBytes += st.ReadBytes
+		total.WriteReqs += st.WriteReqs
+		total.WriteBytes += st.WriteBytes
+	}
+	return total
+}
+
+// ShardStats is one shard's physical I/O with its directory.
+type ShardStats struct {
+	Dir string `json:"dir"`
+	Stats
+}
+
+// ShardStats snapshots per-shard physical I/O, in shard order — the
+// per-device utilization view a placement function is judged by.
+func (sm *ShardedManager) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(sm.shards))
+	for i, m := range sm.shards {
+		out[i] = ShardStats{Dir: sm.dirs[i], Stats: m.Stats()}
+	}
+	return out
+}
+
+// Shards returns the shard count.
+func (sm *ShardedManager) Shards() int { return len(sm.shards) }
+
+// Placement returns the placement name routing blocks to shards.
+func (sm *ShardedManager) Placement() string { return sm.placeName }
+
+// Reopened reports whether OpenSharded found an existing manifest — the
+// open-existing (restart) path as opposed to a fresh store.
+func (sm *ShardedManager) Reopened() bool { return sm.reopened }
+
+// SharedEntry returns the cataloged metadata and fingerprint of a
+// persistent shared array, if present.
+func (sm *ShardedManager) SharedEntry(name string) (CatalogEntry, bool) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	e, ok := sm.catalog[name]
+	return e, ok
+}
+
+// RecordShared catalogs a filled shared input array under its fill
+// fingerprint and persists the manifest to every shard root. No-op without
+// Persist.
+func (sm *ShardedManager) RecordShared(arr *prog.Array, fingerprint string) error {
+	if !sm.persist {
+		return nil
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.catalog[arr.Name] = entryFor(arr, fingerprint)
+	return sm.saveManifestsLocked()
+}
+
+// SetLatency configures the simulated per-request latency on every shard;
+// each shard sleeps independently, like separate devices.
+func (sm *ShardedManager) SetLatency(read, write time.Duration) {
+	for _, m := range sm.shards {
+		m.SetLatency(read, write)
+	}
+}
+
+// Close closes every shard.
+func (sm *ShardedManager) Close() error {
+	var first error
+	for _, m := range sm.shards {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ShardDirs derives N shard directory paths under one root (shard-0 …
+// shard-N-1) — the default layout when explicit directories (separate
+// devices) are not given.
+func ShardDirs(root string, n int) []string {
+	dirs := make([]string, n)
+	for i := range dirs {
+		dirs[i] = filepath.Join(root, fmt.Sprintf("shard-%d", i))
+	}
+	return dirs
+}

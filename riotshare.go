@@ -167,8 +167,43 @@ func PaperDiskModel() DiskModel { return disk.PaperModel() }
 // RefinedDiskModel adds a per-request overhead to the linear model.
 func RefinedDiskModel(overheadSec float64) DiskModel { return disk.RefinedModel(overheadSec) }
 
-// Storage is the RIOTStore block store manager.
+// Storage is the RIOTStore single-directory block store manager.
 type Storage = storage.Manager
+
+// StorageBackend is the block-storage abstraction execution and buffering
+// run over: the single-directory *Storage or a *ShardedStorage implement
+// it interchangeably.
+type StorageBackend = storage.Backend
+
+// ShardedStorage stripes blocks across N shard directories (stand-ins for
+// devices) with deterministic placement, per-shard physical I/O stats, and
+// parallel cross-shard reads. With persistence enabled it catalogs shared
+// arrays in a per-shard-root manifest so they survive restarts.
+type ShardedStorage = storage.ShardedManager
+
+// ShardedStorageOptions configures OpenShardedStorage (format, placement,
+// persistence).
+type ShardedStorageOptions = storage.ShardedOptions
+
+// ShardStats is one shard's physical I/O counters with its directory.
+type ShardStats = storage.ShardStats
+
+// Placement names for sharded storage: hash of array/block coordinates, or
+// round-robin by grid row.
+const (
+	PlacementHash = storage.PlacementHash
+	PlacementRows = storage.PlacementRows
+)
+
+// OpenShardedStorage opens (or, with persistence, reopens) a sharded store
+// over the given shard directories.
+func OpenShardedStorage(dirs []string, opt ShardedStorageOptions) (*ShardedStorage, error) {
+	return storage.OpenSharded(dirs, opt)
+}
+
+// ShardDirs derives N shard directory paths under one root (shard-0 …
+// shard-N-1), the default layout when shards are not separate devices.
+var ShardDirs = storage.ShardDirs
 
 // StorageFormat selects the on-disk format.
 type StorageFormat = storage.Format
@@ -199,7 +234,7 @@ type ExecOptions = exec.Options
 // Execute runs an evaluated plan against storage with the given disk model
 // and optional memory cap (bytes; 0 = unlimited). Input arrays must already
 // be stored; output and intermediate blocks are produced by the run.
-func Execute(pl *EvaluatedPlan, store *Storage, model DiskModel, memCapBytes int64) (ExecResult, error) {
+func Execute(pl *EvaluatedPlan, store StorageBackend, model DiskModel, memCapBytes int64) (ExecResult, error) {
 	return ExecuteOptions(pl, store, model, memCapBytes, ExecOptions{})
 }
 
@@ -207,7 +242,7 @@ func Execute(pl *EvaluatedPlan, store *Storage, model DiskModel, memCapBytes int
 // pool runs independent in-core kernels concurrently while a prefetcher
 // issues block reads ahead of the timeline, preserving the plan's exact
 // I/O volumes and bit-identical numerics.
-func ExecuteOptions(pl *EvaluatedPlan, store *Storage, model DiskModel, memCapBytes int64, opt ExecOptions) (ExecResult, error) {
+func ExecuteOptions(pl *EvaluatedPlan, store StorageBackend, model DiskModel, memCapBytes int64, opt ExecOptions) (ExecResult, error) {
 	eng := &exec.Engine{Store: store, Model: model, MemCapBytes: memCapBytes}
 	return eng.RunOptions(pl.Timeline, opt)
 }
@@ -243,13 +278,13 @@ type BlockPool = exec.BlockPool
 
 // NewBufferPool creates a pool over the manager with the given soft
 // capacity in bytes (<= 0 = unlimited) and the default LRU policy.
-func NewBufferPool(store *Storage, capacityBytes int64) *BufferPool {
+func NewBufferPool(store StorageBackend, capacityBytes int64) *BufferPool {
 	return buffer.NewPool(store, capacityBytes)
 }
 
 // NewBufferPoolOptions creates a pool with an explicit replacement policy
 // and optional per-tenant quotas.
-func NewBufferPoolOptions(store *Storage, opt BufferPoolOptions) (*BufferPool, error) {
+func NewBufferPoolOptions(store StorageBackend, opt BufferPoolOptions) (*BufferPool, error) {
 	return buffer.NewPoolOptions(store, opt)
 }
 
