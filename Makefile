@@ -24,10 +24,12 @@ bench:
 # Seed the perf trajectory: parallel-exec + buffer-pool benchmarks as JSON
 # (op, ns/op, hit rate) into BENCH_pool.json, the eviction-policy
 # comparison (LRU vs segmented hot-set hit rate under a flooding scan) into
-# BENCH_cache.json, and the sharded-vs-single-directory parallel-read
-# benchmark into BENCH_shard.json. CI uploads all three as artifacts and
-# gates on them via bench-check. Each step runs separately so a failing
-# benchmark fails the target.
+# BENCH_cache.json, the sharded-vs-single-directory parallel-read benchmark
+# into BENCH_shard.json, and the replication benchmarks (k-way write
+# amplification, healthy vs degraded-fallback read latency) into
+# BENCH_replica.json. CI uploads all four as artifacts and gates on them
+# via bench-check. Each step runs separately so a failing benchmark fails
+# the target.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelExec' -benchtime 3x . > .bench-exec.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchmem ./internal/buffer > .bench-pool.txt
@@ -36,7 +38,9 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_cache.json < .bench-cache.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedRead' -benchtime 5x ./internal/storage > .bench-shard.txt
 	$(GO) run ./cmd/benchjson -out BENCH_shard.json < .bench-shard.txt
-	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt .bench-shard.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkReplicatedWrite|BenchmarkDegradedRead' -benchtime 5x ./internal/storage > .bench-replica.txt
+	$(GO) run ./cmd/benchjson -out BENCH_replica.json < .bench-replica.txt
+	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt .bench-shard.txt .bench-replica.txt
 
 # Bench-regression gate: stash the committed baselines, rerun the
 # benchmarks, and fail on a >25% ns/op regression against any baseline.
@@ -44,11 +48,12 @@ bench-json:
 # baseline deliberately.
 bench-check:
 	@mkdir -p .bench-base
-	cp BENCH_pool.json BENCH_cache.json BENCH_shard.json .bench-base/
+	cp BENCH_pool.json BENCH_cache.json BENCH_shard.json BENCH_replica.json .bench-base/
 	$(MAKE) bench-json
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_pool.json BENCH_pool.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_cache.json BENCH_cache.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_shard.json BENCH_shard.json -tolerance 0.25
+	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_replica.json BENCH_replica.json -tolerance 0.25
 	@rm -rf .bench-base
 
 lint:

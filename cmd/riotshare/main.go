@@ -56,6 +56,7 @@ func run() error {
 	workers := fs.Int("workers", 1, "parallel kernel workers for run (1 = sequential engine)")
 	prefetch := fs.Int("prefetch", 0, "I/O prefetch window in blocks (0 = 2x workers)")
 	shards := fs.Int("shards", 1, "stripe the run's block store across N shard dirs (per-shard I/O is reported)")
+	replicas := fs.Int("replicas", 1, "mirror each block on k shards (needs -shards >= k); write amplification and degraded reads are reported")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return err
 	}
@@ -148,9 +149,12 @@ func run() error {
 		var sharded *riotshare.ShardedStorage
 		if *shards > 1 {
 			sharded, err = riotshare.OpenShardedStorage(
-				riotshare.ShardDirs(dir, *shards), riotshare.ShardedStorageOptions{})
+				riotshare.ShardDirs(dir, *shards), riotshare.ShardedStorageOptions{Replicas: *replicas})
 			store = sharded
 		} else {
+			if *replicas > 1 {
+				return fmt.Errorf("-replicas %d needs -shards >= %d", *replicas, *replicas)
+			}
 			store, err = riotshare.NewStorage(dir, riotshare.FormatDAF)
 		}
 		if err != nil {
@@ -185,9 +189,19 @@ func run() error {
 			ps.WriteReqs-preRun.WriteReqs, float64(ps.WriteBytes-preRun.WriteBytes)/(1<<20))
 		if sharded != nil {
 			for i, ss := range sharded.ShardStats() {
-				fmt.Printf("  shard %d: %d read reqs (%.1fMB), %d write reqs (%.1fMB)\n",
+				degraded := ""
+				if ss.Degraded {
+					degraded = " DEGRADED"
+				}
+				if ss.DegradedReads > 0 {
+					degraded += fmt.Sprintf(", %d degraded reads", ss.DegradedReads)
+				}
+				fmt.Printf("  shard %d: %d read reqs (%.1fMB), %d write reqs (%.1fMB)%s\n",
 					i, ss.ReadReqs, float64(ss.ReadBytes)/(1<<20),
-					ss.WriteReqs, float64(ss.WriteBytes)/(1<<20))
+					ss.WriteReqs, float64(ss.WriteBytes)/(1<<20), degraded)
+			}
+			if *replicas > 1 {
+				fmt.Printf("  %d-way replication: %d degraded reads total\n", sharded.Replicas(), sharded.DegradedReads())
 			}
 		}
 		if *workers > 1 {

@@ -8,6 +8,7 @@
 //	riotshared serve -addr :8377 -data /var/lib/riotshare -pool-mb 256 -max-concurrent 4
 //	riotshared serve -data /var/lib/riotshare -shards 4 -persist   # striped + restart-persistent
 //	riotshared serve -shard-dirs /mnt/d0,/mnt/d1 -persist          # explicit devices
+//	riotshared serve -data /var/lib/riotshare -shards 4 -replicas 2 -persist  # lost shard → degraded reads
 //	riotshared serve -policy segmented -tenant-quota-mb acme=64,beta=32 \
 //	    -tenant-weight acme=3 -tenant-concurrent acme=2 -tenant-mem-mb acme=512
 //
@@ -18,6 +19,7 @@
 //	riotshared status  -addr http://localhost:8377 -id q1
 //	riotshared results -addr http://localhost:8377 -id q1 -wait
 //	riotshared stats   -addr http://localhost:8377 -tenant acme
+//	riotshared repair  -addr http://localhost:8377 -shard 1
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests drain, running queries finish, the pool flushes.
@@ -59,10 +61,10 @@ func run() error {
 	switch sub {
 	case "serve":
 		return serve(fs, os.Args[2:])
-	case "submit", "status", "results", "stats":
+	case "submit", "status", "results", "stats", "repair":
 		return client(sub, fs, os.Args[2:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (serve, submit, status, results, stats)", sub)
+		return fmt.Errorf("unknown subcommand %q (serve, submit, status, results, stats, repair)", sub)
 	}
 }
 
@@ -83,6 +85,7 @@ func serve(fs *flag.FlagSet, args []string) error {
 		shards    = fs.Int("shards", 1, "stripe the block store across N shard dirs under -data (devices)")
 		shardDirs = fs.String("shard-dirs", "", "explicit comma-separated shard directories (overrides -shards; order matters)")
 		placement = fs.String("placement", "", "block placement across shards: hash (default) or rows")
+		replicas  = fs.Int("replicas", 1, "mirror each block on k shards (ring order); a lost shard then degrades reads instead of failing the open")
 		persist   = fs.Bool("persist", false, "persist shared input arrays across restarts (manifest catalog; requires -data or -shard-dirs)")
 
 		quotaMB    = fs.String("tenant-quota-mb", "", "per-tenant pool quotas, e.g. acme=64,beta=32 (MB)")
@@ -140,6 +143,7 @@ func serve(fs *flag.FlagSet, args []string) error {
 		Shards:               *shards,
 		ShardDirs:            dirs,
 		Placement:            *placement,
+		Replicas:             *replicas,
 		Persist:              *persist,
 		PoolBytes:            *poolMB << 20,
 		PoolPolicy:           *policy,
@@ -227,6 +231,7 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 		tenant   = fs.String("tenant", "", "tenant label (submit: governor fairness + pool quotas; stats: filter)")
 		id       = fs.String("id", "", "query id (status, results)")
 		wait     = fs.Bool("wait", false, "block until the query finishes (results)")
+		shard    = fs.Int("shard", -1, "shard index to re-mirror from its replicas (repair)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -273,6 +278,11 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 			u += "?tenant=" + url.QueryEscape(*tenant)
 		}
 		return do(http.MethodGet, u, nil)
+	case "repair":
+		if *shard < 0 {
+			return fmt.Errorf("-shard required")
+		}
+		return do(http.MethodPost, fmt.Sprintf("%s/repair?shard=%d", *addr, *shard), nil)
 	}
 	return nil
 }

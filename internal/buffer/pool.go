@@ -25,6 +25,13 @@
 // back down as pins release. Callers always receive private copies; the
 // cached frame stays pristine, so one query mutating its working set can
 // never corrupt another query's reads.
+//
+// The pool keys frames by (array, block coordinates) only — placement,
+// sharding, and replication live below the storage.Backend it fronts. A
+// sharded store, a replicated one, even one running degraded with reads
+// falling back to replicas, all compose with the pool unchanged: a miss
+// fetches through Backend.ReadBlock wherever the live copy is, and dirty
+// write-back lands on every live replica.
 package buffer
 
 import (

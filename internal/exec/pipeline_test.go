@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"riotshare/internal/blas"
@@ -54,16 +55,17 @@ func outputArrays(p *prog.Program) []string {
 
 // runConfig varies one execution of a plan in the property tests: the
 // on-disk format, the engine parallelism, the shard count of the block
-// store (0/1 = the single-directory manager), and whether block I/O goes
-// through a sharing-aware buffer pool (with which eviction policy and
-// capacity — a small poolCap forces eviction and dirty write-back churn
-// mid-plan).
+// store (0/1 = the single-directory manager) with its replication factor,
+// and whether block I/O goes through a sharing-aware buffer pool (with
+// which eviction policy and capacity — a small poolCap forces eviction and
+// dirty write-back churn mid-plan).
 type runConfig struct {
 	format     storage.Format
 	workers    int
 	prefetch   int
 	memCap     int64
 	shards     int
+	replicas   int
 	pool       bool
 	poolPolicy string
 	poolCap    int64
@@ -77,7 +79,7 @@ func runPlan(t *testing.T, p *prog.Program, pl *core.EvaluatedPlan, cfg runConfi
 	var err error
 	if cfg.shards > 1 {
 		m, err = storage.OpenSharded(storage.ShardDirs(t.TempDir(), cfg.shards),
-			storage.ShardedOptions{Format: cfg.format})
+			storage.ShardedOptions{Format: cfg.format, Replicas: cfg.replicas})
 	} else {
 		m, err = storage.NewManager(t.TempDir(), cfg.format)
 	}
@@ -89,6 +91,15 @@ func runPlan(t *testing.T, p *prog.Program, pl *core.EvaluatedPlan, cfg runConfi
 		t.Fatal(err)
 	}
 	fillInputs(t, p, m, 42)
+	return runPlanOn(t, p, pl, m, cfg)
+}
+
+// runPlanOn executes one plan on an already-created, already-filled backend
+// — the hook the degraded-store variant uses to lose a shard between fill
+// and execution.
+func runPlanOn(t *testing.T, p *prog.Program, pl *core.EvaluatedPlan, m storage.Backend, cfg runConfig) (Result, map[string]*blas.Matrix) {
+	t.Helper()
+	var err error
 	eng := &Engine{Store: m, Model: disk.PaperModel(), MemCapBytes: cfg.memCap}
 	var pool *buffer.Pool
 	if cfg.pool {
@@ -219,18 +230,52 @@ func TestParallelMatchesSequential(t *testing.T) {
 						par, parOut := runPlan(t, tc.prog, pl, runConfig{format: format, workers: workers})
 						assertIdentical(t, pl.Label, workers, seq, par, seqOut, parOut)
 					}
-					// Shards axis: striping the block store across 2 or 4
-					// shard directories must be invisible to execution —
-					// same Result, bit-identical outputs — sequential and
+					// Shards/replicas axes: striping the block store across
+					// 2 or 4 shard directories — with or without 2-way
+					// replication — must be invisible to execution: same
+					// Result, bit-identical outputs, sequential and
 					// parallel alike.
 					for _, shards := range []int{2, 4} {
-						for _, workers := range []int{1, 4} {
-							sh, shOut := runPlan(t, tc.prog, pl, runConfig{
-								format: format, workers: workers, shards: shards,
-							})
-							label := fmt.Sprintf("%s+shards%d", pl.Label, shards)
-							assertIdentical(t, label, workers, seq, sh, seqOut, shOut)
+						for _, replicas := range []int{1, 2} {
+							for _, workers := range []int{1, 4} {
+								sh, shOut := runPlan(t, tc.prog, pl, runConfig{
+									format: format, workers: workers, shards: shards, replicas: replicas,
+								})
+								label := fmt.Sprintf("%s+shards%d r%d", pl.Label, shards, replicas)
+								assertIdentical(t, label, workers, seq, sh, seqOut, shOut)
+							}
 						}
+					}
+					// Degraded store: lose one shard dir mid-suite (after
+					// the input fill) under 2-way replication — execution
+					// must still be bit-identical, served by replica
+					// fallbacks.
+					{
+						cfg := runConfig{format: format, workers: 4, shards: 2, replicas: 2}
+						dirs := storage.ShardDirs(t.TempDir(), cfg.shards)
+						sm, err := storage.OpenSharded(dirs,
+							storage.ShardedOptions{Format: cfg.format, Replicas: cfg.replicas})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := sm.CreateAll(tc.prog); err != nil {
+							t.Fatal(err)
+						}
+						fillInputs(t, tc.prog, sm, 42)
+						if err := sm.DegradeShard(1); err != nil {
+							t.Fatal(err)
+						}
+						// The directory is really gone: fallbacks must come
+						// from shard 0's replicas, not surviving fds.
+						if err := os.RemoveAll(dirs[1]); err != nil {
+							t.Fatal(err)
+						}
+						deg, degOut := runPlanOn(t, tc.prog, pl, sm, cfg)
+						assertIdentical(t, pl.Label+"+degraded", cfg.workers, seq, deg, seqOut, degOut)
+						if sm.DegradedReads() == 0 {
+							t.Errorf("plan %s: degraded run issued no replica-fallback reads", pl.Label)
+						}
+						sm.Close()
 					}
 					// Pooled runs (sequential and parallel, each eviction
 					// policy, unlimited and eviction-forcing capacities)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -19,8 +20,12 @@ import (
 //	GET  /queries         → every query, submission order
 //	GET  /stats           → Stats (pool hit rates, physical I/O, admission,
 //	                        plan cache, per-tenant breakdown incl. eviction
-//	                        write-back errors); ?tenant=name returns just
-//	                        that tenant's TenantStats
+//	                        write-back errors; on a replicated sharded store
+//	                        also per-shard degraded flags and degraded-read
+//	                        counters); ?tenant=name returns just that
+//	                        tenant's TenantStats
+//	POST /repair?shard=1  → re-mirror a degraded shard from its replicas
+//	                        (replicated stores only); 200 on success
 //	GET  /healthz         → 200 ok
 //
 // Submissions carry an optional "tenant" label; the resource governor
@@ -33,6 +38,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/results", s.handleResults)
 	mux.HandleFunc("/queries", s.handleQueries)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/repair", s.handleRepair)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -118,6 +124,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("repair needs ?shard=N: %w", err))
+		return
+	}
+	if err := s.RepairShard(shard); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"repaired": shard})
 }
 
 // ListenAndServe runs the HTTP API on addr until ctx is canceled, then

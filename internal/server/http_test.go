@@ -174,3 +174,67 @@ func TestHTTPErrors(t *testing.T) {
 		t.Fatalf("GET /submit status = %d", resp.StatusCode)
 	}
 }
+
+// /repair re-mirrors a degraded shard of a replicated store over HTTP; on
+// an unsharded server (and for malformed requests) it fails cleanly.
+func TestHTTPRepair(t *testing.T) {
+	// Unsharded server: nothing to repair.
+	_, ts := newHTTPServer(t)
+	resp, err := http.Post(ts.URL+"/repair?shard=0", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("repair on unsharded store status = %d, want 409", resp.StatusCode)
+	}
+
+	// Replicated server: repair succeeds, GET and garbage are rejected.
+	s, err := New(Config{
+		Dir:      t.TempDir(),
+		Shards:   3,
+		Replicas: 2,
+		Seed:     testSeed,
+		Programs: map[string]func() *prog.Program{"addmul-small": smallAddMul},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s.Handler())
+	defer func() {
+		ts2.Close()
+		s.Close()
+	}()
+	runOne(t, s, "addmul-small")
+
+	resp, err = http.Get(ts2.URL + "/repair?shard=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /repair status = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts2.URL+"/repair?shard=x", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST /repair?shard=x status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts2.URL+"/repair?shard=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Repaired int `json:"repaired"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rep.Repaired != 1 {
+		t.Fatalf("POST /repair?shard=1 = %d %+v, want 200 repaired=1", resp.StatusCode, rep)
+	}
+}

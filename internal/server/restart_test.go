@@ -186,6 +186,131 @@ func TestServerRestartFingerprintMismatchRefills(t *testing.T) {
 	}
 }
 
+// The degraded-restart acceptance test: with -replicas 2, deleting one
+// shard directory and reopening must still answer every query with
+// bit-identical results and ZERO refill writes — the lost shard's blocks
+// are served from their replicas (DegradedReads > 0) — and after Repair the
+// degraded reads return to zero, including across one more restart.
+func TestServerRestartDegradedShardAndRepair(t *testing.T) {
+	progs := map[string]func() *prog.Program{"addmul-small": smallAddMul}
+	cfg := Config{
+		Dir:      t.TempDir(),
+		Shards:   3,
+		Replicas: 2,
+		Persist:  true,
+		Seed:     testSeed,
+		Programs: progs,
+	}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := runOne(t, s1, "addmul-small")
+	if st := s1.Stats(); st.Replicas != 2 || st.DegradedReads != 0 {
+		t.Fatalf("fresh server: replicas=%d degradedReads=%d, want 2/0", st.Replicas, st.DegradedReads)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill shard 1 outright: directory, manifest, block files, everything.
+	if err := os.RemoveAll(filepath.Join(cfg.Dir, "shard-1")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("reopen with a lost shard dir under 2-way replication failed: %v", err)
+	}
+	defer s2.Close()
+	second := runOne(t, s2, "addmul-small")
+
+	st2 := s2.Stats()
+	// Zero refill writes: the catalog still covers every shared input.
+	if st2.InputFills != 0 {
+		t.Errorf("degraded reopen refilled %d inputs, want 0 (replicas cover the lost shard)", st2.InputFills)
+	}
+	if st2.InputFillsSkipped == 0 {
+		t.Error("degraded reopen skipped no input fills — the catalog was not used")
+	}
+	// The lost shard's blocks were served from replicas.
+	if st2.DegradedReads == 0 {
+		t.Error("no degraded reads counted while shard 1 is down")
+	}
+	if len(st2.Shards) != 3 || !st2.Shards[1].Degraded {
+		t.Fatalf("/stats does not mark shard 1 degraded: %+v", st2.Shards)
+	}
+	if st2.Shards[1].DegradedReads == 0 {
+		t.Error("/stats counts no degraded reads against the lost shard")
+	}
+	// Bit-identical results despite the degradation.
+	if first.Result == nil || second.Result == nil {
+		t.Fatal("missing results")
+	}
+	r1, r2 := *first.Result, *second.Result
+	r1.CPUTime, r2.CPUTime = 0, 0
+	if r1 != r2 {
+		t.Errorf("Result diverged across the degraded restart:\nfresh:    %+v\ndegraded: %+v", r1, r2)
+	}
+	if len(first.Outputs) == 0 || len(first.Outputs) != len(second.Outputs) {
+		t.Fatalf("outputs: fresh %d vs degraded %d", len(first.Outputs), len(second.Outputs))
+	}
+	for i := range first.Outputs {
+		if first.Outputs[i].Sum != second.Outputs[i].Sum {
+			t.Errorf("output %s sum %v healthy, %v degraded (not identical data)",
+				first.Outputs[i].Array, first.Outputs[i].Sum, second.Outputs[i].Sum)
+		}
+	}
+
+	// Repair re-mirrors the shard in place; the degraded-read counter
+	// returns to zero and stays there.
+	if err := s2.RepairShard(1); err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.DegradedReads != 0 {
+		t.Errorf("DegradedReads = %d after repair, want 0", st.DegradedReads)
+	}
+	if st.Shards[1].Degraded {
+		t.Error("shard 1 still marked degraded after repair")
+	}
+
+	// One more restart: the repaired store reopens fully healthy and still
+	// answers without refilling or falling back.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := New(cfg)
+	if err != nil {
+		t.Fatalf("reopen after repair: %v", err)
+	}
+	defer s3.Close()
+	third := runOne(t, s3, "addmul-small")
+	st3 := s3.Stats()
+	if st3.InputFills != 0 || st3.InputFillsSkipped == 0 {
+		t.Errorf("post-repair reopen: fills=%d skipped=%d, want 0/>0", st3.InputFills, st3.InputFillsSkipped)
+	}
+	if st3.DegradedReads != 0 {
+		t.Errorf("post-repair reopen served %d degraded reads, want 0", st3.DegradedReads)
+	}
+	for i := range st3.Shards {
+		if st3.Shards[i].Degraded {
+			t.Errorf("shard %d still degraded after repair + reopen", i)
+		}
+	}
+	r3 := *third.Result
+	r3.CPUTime = 0
+	if r1 != r3 {
+		t.Errorf("Result diverged after repair:\nfresh:  %+v\nhealed: %+v", r1, r3)
+	}
+	for i := range first.Outputs {
+		if first.Outputs[i].Sum != third.Outputs[i].Sum {
+			t.Errorf("output %s sum %v healthy, %v after repair", first.Outputs[i].Array, first.Outputs[i].Sum, third.Outputs[i].Sum)
+		}
+	}
+}
+
 // A server reopening a store with a missing shard directory must fail with
 // an error naming the shard — not silently rebuild half a store.
 func TestServerRestartMissingShard(t *testing.T) {

@@ -60,6 +60,11 @@ type Config struct {
 	ShardDirs []string
 	// Placement selects the block→shard mapping ("" or "hash", "rows").
 	Placement string
+	// Replicas mirrors each block on k shards (primary plus the next k-1
+	// in ring order; 0/1 = unreplicated). With k >= 2 a lost shard
+	// directory degrades reads to the surviving replicas instead of
+	// failing the reopen, and RepairShard re-mirrors it in place.
+	Replicas int
 	// Persist keeps shared input arrays across server restarts: array
 	// metadata and fill fingerprints are cataloged in a per-shard-root
 	// manifest, and a server reopening the same directories skips
@@ -218,8 +223,15 @@ type Stats struct {
 	Store storage.Stats `json:"store"`
 	// Shards breaks physical I/O down per shard directory when the block
 	// store is sharded (nil on the single-directory path) — the
-	// per-device utilization view.
+	// per-device utilization view, including each shard's degraded state
+	// and fallback-read count.
 	Shards []storage.ShardStats `json:"shards,omitempty"`
+	// Replicas is the store's replication factor (0 when unsharded, 1 =
+	// sharded but unreplicated); DegradedReads totals the reads served
+	// from a replica because their primary shard is degraded — nonzero
+	// means the store is running degraded and RepairShard should be run.
+	Replicas      int   `json:"replicas,omitempty"`
+	DegradedReads int64 `json:"degradedReads,omitempty"`
 
 	Running   int   `json:"running"`
 	Queued    int   `json:"queued"`
@@ -311,7 +323,7 @@ func New(cfg Config) (*Server, error) {
 		sharded *storage.ShardedManager
 		err     error
 	)
-	if cfg.Shards > 1 || len(cfg.ShardDirs) > 0 || cfg.Persist || cfg.Placement != "" {
+	if cfg.Shards > 1 || len(cfg.ShardDirs) > 0 || cfg.Persist || cfg.Placement != "" || cfg.Replicas > 1 {
 		dirs := cfg.ShardDirs
 		if len(dirs) == 0 {
 			n := cfg.Shards
@@ -323,6 +335,7 @@ func New(cfg Config) (*Server, error) {
 		sharded, err = storage.OpenSharded(dirs, storage.ShardedOptions{
 			Format:    cfg.Format,
 			Placement: cfg.Placement,
+			Replicas:  cfg.Replicas,
 			Persist:   cfg.Persist,
 		})
 		m = sharded
@@ -375,6 +388,17 @@ func New(cfg Config) (*Server, error) {
 
 // Pool exposes the shared buffer pool (read-mostly: stats, flush).
 func (s *Server) Pool() *buffer.Pool { return s.pool }
+
+// RepairShard re-mirrors one degraded shard of a replicated store from the
+// surviving replicas, clearing its degraded state and degraded-read
+// counter; subsequent reads come off the repaired primary again. Errors on
+// an unsharded or unreplicated store.
+func (s *Server) RepairShard(shard int) error {
+	if s.sharded == nil {
+		return errors.New("server: storage is not sharded; nothing to repair")
+	}
+	return s.sharded.Repair(shard)
+}
 
 // Store exposes the shared storage backend.
 func (s *Server) Store() storage.Backend { return s.store }
@@ -975,6 +999,8 @@ func (s *Server) Stats() Stats {
 	}
 	if s.sharded != nil {
 		st.Shards = s.sharded.ShardStats()
+		st.Replicas = s.sharded.Replicas()
+		st.DegradedReads = s.sharded.DegradedReads()
 	}
 	// Per-tenant view: union of the governor's occupancy, the server's
 	// lifecycle counters, and the pool's per-tenant slice.

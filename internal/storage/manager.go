@@ -275,6 +275,19 @@ func (m *Manager) Create(arr *prog.Array) error {
 	return nil
 }
 
+// ensure opens the array's store unless it is already registered. Create
+// refuses duplicates so callers catch double registration; shard repair
+// needs the idempotent form to reopen stores on a recovered shard.
+func (m *Manager) ensure(arr *prog.Array) error {
+	m.mu.RLock()
+	_, ok := m.stores[arr.Name]
+	m.mu.RUnlock()
+	if ok {
+		return nil
+	}
+	return m.Create(arr)
+}
+
 // CreateAll opens stores for every array of a program.
 func (m *Manager) CreateAll(p *prog.Program) error {
 	for _, arr := range p.Arrays {

@@ -1,30 +1,44 @@
 // sharded.go stripes a block store across several shard directories —
 // stand-ins for independent devices (or, with network mounts, machines).
-// Every block of every array is owned by exactly one shard, chosen by a
-// deterministic placement function of the array name and block coordinates,
-// so any process opening the same directories sees the same layout. Each
-// shard is a full single-directory Manager: physical I/O counters stay
-// per-shard (per-device utilization is visible), concurrent reads of blocks
-// on different shards proceed in parallel (each shard is its own simulated
+// Every block of every array has a primary shard, chosen by a deterministic
+// placement function of the array name and block coordinates, so any
+// process opening the same directories sees the same layout. Each shard is
+// a full single-directory Manager: physical I/O counters stay per-shard
+// (per-device utilization is visible), concurrent reads of blocks on
+// different shards proceed in parallel (each shard is its own simulated
 // device), and coalescing still works because one block always routes to
 // one shard.
 //
+// With Replicas = k > 1 every block is mirrored on its primary shard plus
+// the next k-1 shards in ring order, under either placement. Losing a shard
+// then degrades reads instead of losing data: reads whose primary is gone
+// fall back to a surviving replica (counted per shard as DegradedReads),
+// writes skip the lost shard, and Repair re-mirrors the lost shard's blocks
+// from the survivors so the store heals in place.
+//
 // A sharded store can be persistent: a manifest (MANIFEST.json, written
-// atomically via rename) in every shard root records the layout (format,
-// shard count, placement) and a catalog of shared input arrays — metadata
-// plus the fill fingerprint of their synthetic data. Reopening the same
-// directories restores the catalog, so a restarted server can serve
-// persisted inputs without refilling them.
+// atomically and fsynced via atomicWriteFile) in every shard root records
+// the layout (format, shard count, replication, placement) and a catalog of
+// shared input arrays — metadata plus the fill fingerprint of their
+// synthetic data. Reopening the same directories restores the catalog, so a
+// restarted server can serve persisted inputs without refilling them; a
+// missing or corrupt manifest marks its shard degraded when replication
+// still covers every block, and fails the open with a clean error naming
+// the shard when it does not.
 package storage
 
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"riotshare/internal/blas"
@@ -45,7 +59,7 @@ const (
 	PlacementRows = "rows"
 )
 
-// PlacementFunc maps one block to its owning shard in [0, shards).
+// PlacementFunc maps one block to its primary shard in [0, shards).
 type PlacementFunc func(array string, r, c int64, shards int) int
 
 // HashPlacement is PlacementHash.
@@ -79,7 +93,9 @@ func placementByName(name string) (PlacementFunc, string, error) {
 // manifestName is the per-shard-root manifest file.
 const manifestName = "MANIFEST.json"
 
-// manifestVersion guards the on-disk manifest schema.
+// manifestVersion guards the on-disk manifest schema. Replication was added
+// without a bump: manifests written before it decode with Replicas 0, which
+// normalizes to 1 — exactly their behavior.
 const manifestVersion = 1
 
 // CatalogEntry is one cataloged (persistent) array: enough metadata to
@@ -128,6 +144,7 @@ type manifest struct {
 	Shards     int                     `json:"shards"`
 	ShardIndex int                     `json:"shardIndex"`
 	Placement  string                  `json:"placement"`
+	Replicas   int                     `json:"replicas,omitempty"`
 	Arrays     map[string]CatalogEntry `json:"arrays"`
 }
 
@@ -138,6 +155,13 @@ type ShardedOptions struct {
 	// Placement selects the block→shard mapping by name ("" or "hash",
 	// "rows").
 	Placement string
+	// Replicas mirrors each block on its primary shard plus the next
+	// Replicas-1 shards in ring order (0 or 1 = no replication). With k >=
+	// 2 a lost shard degrades reads to the surviving replicas instead of
+	// failing the open, and Repair re-mirrors it in place. Must not exceed
+	// the shard count; validated against the persisted manifests on
+	// reopen.
+	Replicas int
 	// Persist enables the manifest catalog: the layout is validated (or
 	// written) at open, and shared arrays recorded with RecordShared
 	// survive restarts.
@@ -149,27 +173,52 @@ type ShardedOptions struct {
 }
 
 // ShardedManager stripes blocks across N shard directories behind the
-// Backend interface. It is safe for concurrent use; requests to different
-// shards proceed in parallel.
+// Backend interface, optionally mirroring each block on k shards. It is
+// safe for concurrent use; requests to different shards proceed in
+// parallel.
 type ShardedManager struct {
 	dirs      []string
 	shards    []*Manager
 	format    Format
 	place     PlacementFunc
 	placeName string
+	replicas  int
 	persist   bool
+
+	// degraded marks shards that are offline (lost directory, torn
+	// manifest, or an explicit DegradeShard): reads skip them and fall
+	// back to a replica, writes skip them, Repair brings them back.
+	// healing marks a degraded shard mid-Repair: reads still skip it, but
+	// writes flow through (best effort) so blocks updated during the
+	// re-mirror scan are not lost when the degraded flag clears.
+	// degradedReads[i] counts reads whose primary shard i could not serve
+	// them — the ongoing cost of running degraded; Repair resets it.
+	degraded      []atomic.Bool
+	healing       []atomic.Bool
+	degradedReads []atomic.Int64
+
+	// healMu orders Repair's per-block copies against concurrent writes:
+	// writers hold it shared for the duration of a replica-set write,
+	// Repair holds it exclusive around each (read replica, write target)
+	// pair, so a copy of an older replica value can never land on top of
+	// a newer concurrent write.
+	healMu sync.RWMutex
 
 	mu       sync.Mutex
 	catalog  map[string]CatalogEntry
+	arrays   map[string]*prog.Array // every registered array, for Repair
 	reopened bool
 }
 
 // OpenSharded opens (or creates) a sharded store over the given shard
-// directories. With Persist set it validates any existing manifests — a
-// missing or corrupt shard is reported by index and path — loads the shared
-// catalog, and reopens the stores of every cataloged array; a cataloged
-// array whose store files have gone missing is dropped from the catalog
-// (forcing a refill) rather than served as empty data.
+// directories. With Persist set it validates any existing manifests and
+// loads the shared catalog, reopening the stores of every cataloged array;
+// a cataloged array whose store files have gone missing is dropped from the
+// catalog (forcing a refill) rather than served as empty data. A shard
+// whose manifest is missing or corrupt fails the open with an error naming
+// it — unless the store is replicated and every block is still covered by a
+// surviving replica, in which case the shard is merely degraded (see
+// Degraded and Repair).
 func OpenSharded(dirs []string, opt ShardedOptions) (*ShardedManager, error) {
 	if len(dirs) == 0 {
 		return nil, fmt.Errorf("storage: OpenSharded needs at least one shard directory")
@@ -178,13 +227,26 @@ func OpenSharded(dirs []string, opt ShardedOptions) (*ShardedManager, error) {
 	if err != nil {
 		return nil, err
 	}
+	replicas := opt.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if replicas > len(dirs) {
+		return nil, fmt.Errorf("storage: %d-way replication needs at least %d shards (have %d)",
+			replicas, replicas, len(dirs))
+	}
 	sm := &ShardedManager{
-		dirs:      dirs,
-		format:    opt.Format,
-		place:     place,
-		placeName: placeName,
-		persist:   opt.Persist,
-		catalog:   make(map[string]CatalogEntry),
+		dirs:          dirs,
+		format:        opt.Format,
+		place:         place,
+		placeName:     placeName,
+		replicas:      replicas,
+		persist:       opt.Persist,
+		degraded:      make([]atomic.Bool, len(dirs)),
+		healing:       make([]atomic.Bool, len(dirs)),
+		degradedReads: make([]atomic.Int64, len(dirs)),
+		catalog:       make(map[string]CatalogEntry),
+		arrays:        make(map[string]*prog.Array),
 	}
 	if opt.Persist {
 		if err := sm.loadManifests(); err != nil {
@@ -214,24 +276,29 @@ func OpenSharded(dirs []string, opt ShardedOptions) (*ShardedManager, error) {
 
 // loadManifests reads and cross-validates the per-shard manifests. Either
 // no shard has one (a fresh store) or every shard must carry a structurally
-// consistent one; anything else is a clean error naming the shard. Array
-// entries that diverge across shards (a crash between manifest writes) are
-// dropped from the effective catalog so their inputs get refilled instead
-// of served stale.
+// consistent one. A shard whose manifest is missing or corrupt (a lost
+// directory, a torn write) is degraded when replication still covers every
+// block, and is a clean error naming the shard otherwise. Array entries
+// that diverge across surviving shards (a crash between manifest writes)
+// are dropped from the effective catalog so their inputs get refilled
+// instead of served stale.
 func (sm *ShardedManager) loadManifests() error {
 	manifests := make([]*manifest, len(sm.dirs))
+	lost := make([]error, len(sm.dirs)) // why shard i has no usable manifest
 	found := 0
 	for i, dir := range sm.dirs {
 		data, err := os.ReadFile(filepath.Join(dir, manifestName))
-		if os.IsNotExist(err) {
-			continue
-		}
 		if err != nil {
-			return fmt.Errorf("storage: shard %d (%s): read manifest: %w", i, dir, err)
+			// A missing file and a missing directory look the same here:
+			// the shard's manifest is gone. Anything else (permissions,
+			// I/O error) is also unusable; remember why.
+			lost[i] = fmt.Errorf("storage: shard %d (%s): read manifest: %w", i, dir, err)
+			continue
 		}
 		var mf manifest
 		if err := json.Unmarshal(data, &mf); err != nil {
-			return fmt.Errorf("storage: shard %d (%s): corrupt manifest: %w", i, dir, err)
+			lost[i] = fmt.Errorf("storage: shard %d (%s): corrupt manifest: %w", i, dir, err)
+			continue
 		}
 		manifests[i] = &mf
 		found++
@@ -239,9 +306,13 @@ func (sm *ShardedManager) loadManifests() error {
 	if found == 0 {
 		return nil // fresh store: manifests are written at open
 	}
+	var survivors []*manifest
 	for i, mf := range manifests {
 		if mf == nil {
-			return fmt.Errorf("storage: shard %d (%s): manifest missing while %d other shard(s) have one — shard directory lost or wrong -shard-dirs", i, sm.dirs[i], found)
+			if errors.Is(lost[i], fs.ErrNotExist) {
+				lost[i] = fmt.Errorf("storage: shard %d (%s): manifest missing while %d other shard(s) have one — shard directory lost or wrong -shard-dirs", i, sm.dirs[i], found)
+			}
+			continue
 		}
 		if mf.Version != manifestVersion {
 			return fmt.Errorf("storage: shard %d (%s): manifest version %d, want %d", i, sm.dirs[i], mf.Version, manifestVersion)
@@ -258,11 +329,40 @@ func (sm *ShardedManager) loadManifests() error {
 		if mf.Placement != sm.placeName {
 			return fmt.Errorf("storage: shard %d (%s): store was written with placement %q, reopened with %q", i, sm.dirs[i], mf.Placement, sm.placeName)
 		}
+		stored := mf.Replicas
+		if stored <= 0 {
+			stored = 1
+		}
+		if stored != sm.replicas {
+			return fmt.Errorf("storage: shard %d (%s): store was written with %d-way replication, reopened with %d — replica placement would not match", i, sm.dirs[i], stored, sm.replicas)
+		}
+		survivors = append(survivors, mf)
 	}
-	// Effective catalog: entries identical across every shard.
-	for name, e := range manifests[0].Arrays {
+	// Shards without a usable manifest: degrade them if every block is
+	// still covered by a surviving replica, otherwise fail with the first
+	// shard's error.
+	for i := range manifests {
+		if manifests[i] == nil {
+			sm.degraded[i].Store(true)
+		}
+	}
+	if p := sm.uncoveredPrimary(); p >= 0 {
+		first := 0
+		for i := range manifests {
+			if manifests[i] == nil {
+				first = i
+				break
+			}
+		}
+		if sm.replicas > 1 {
+			return fmt.Errorf("storage: coverage lost — blocks with primary shard %d have no surviving replica (%d-way replication): %w", p, sm.replicas, lost[first])
+		}
+		return lost[first]
+	}
+	// Effective catalog: entries identical across every surviving shard.
+	for name, e := range survivors[0].Arrays {
 		same := true
-		for _, mf := range manifests[1:] {
+		for _, mf := range survivors[1:] {
 			if other, ok := mf.Arrays[name]; !ok || other != e {
 				same = false
 				break
@@ -276,13 +376,39 @@ func (sm *ShardedManager) loadManifests() error {
 	return nil
 }
 
+// uncoveredPrimary returns the first primary shard whose whole replica set
+// (the k consecutive shards starting at it, in ring order) is degraded —
+// the coverage-lost condition — or -1 when every block still has a live
+// copy.
+func (sm *ShardedManager) uncoveredPrimary() int {
+	n := len(sm.dirs)
+	for p := 0; p < n; p++ {
+		covered := false
+		for j := 0; j < sm.replicas; j++ {
+			if !sm.degraded[(p+j)%n].Load() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return p
+		}
+	}
+	return -1
+}
+
 // reopenCatalog reopens the stores of every cataloged array. An array whose
-// store file is missing in any shard is dropped from the catalog: its data
-// is gone, and refilling beats silently serving zeros from a fresh file.
+// store file is missing on any live shard is dropped from the catalog: its
+// data is gone, and refilling beats silently serving zeros from a fresh
+// file. Degraded shards are not consulted — their blocks live on the
+// surviving replicas.
 func (sm *ShardedManager) reopenCatalog() error {
 	for name, e := range sm.catalog {
 		intact := true
-		for _, m := range sm.shards {
+		for i, m := range sm.shards {
+			if sm.degraded[i].Load() {
+				continue
+			}
 			if _, err := os.Stat(filepath.Join(m.Dir, name+"."+sm.format.String())); err != nil {
 				intact = false
 				break
@@ -299,8 +425,11 @@ func (sm *ShardedManager) reopenCatalog() error {
 	return nil
 }
 
-// saveManifests writes the manifest to every shard root, each atomically
-// (temp file + rename), so a reader never observes a torn manifest.
+// saveManifests writes the manifest to every live shard root, each
+// atomically and fsynced (atomicWriteFile), so a crash can never leave a
+// torn or empty MANIFEST.json. Degraded shards get no manifest — that is
+// exactly what marks them degraded on the next open, until Repair rewrites
+// one.
 func (sm *ShardedManager) saveManifests() error {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
@@ -312,41 +441,58 @@ func (sm *ShardedManager) saveManifestsLocked() error {
 		return nil
 	}
 	for i, dir := range sm.dirs {
+		if sm.degraded[i].Load() {
+			continue
+		}
 		mf := manifest{
 			Version:    manifestVersion,
 			Format:     sm.format.String(),
 			Shards:     len(sm.dirs),
 			ShardIndex: i,
 			Placement:  sm.placeName,
+			Replicas:   sm.replicas,
 			Arrays:     sm.catalog,
 		}
 		data, err := json.MarshalIndent(&mf, "", "  ")
 		if err != nil {
 			return err
 		}
-		tmp := filepath.Join(dir, manifestName+".tmp")
-		if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		if err := atomicWriteFile(filepath.Join(dir, manifestName), append(data, '\n'), 0o644); err != nil {
 			return fmt.Errorf("storage: shard %d (%s): write manifest: %w", i, dir, err)
 		}
-		if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
-			return fmt.Errorf("storage: shard %d (%s): commit manifest: %w", i, dir, err)
-		}
 	}
 	return nil
 }
 
-// createStores opens the array's store in every shard (each shard holds the
-// blocks the placement routes to it).
+// createStores opens the array's store on every live shard (each shard
+// holds the blocks whose replica sets include it). On a mid-loop failure
+// the stores already created are unwound — closed and unregistered — so the
+// error leaks no file descriptors and a retry does not trip over "already
+// created" on the shards that had succeeded.
 func (sm *ShardedManager) createStores(arr *prog.Array) error {
+	var created []int
 	for i, m := range sm.shards {
+		if sm.offline(i) {
+			continue
+		}
 		if err := m.Create(arr); err != nil {
+			if sm.healing[i].Load() {
+				continue // best effort on a mid-repair shard; fallback covers it
+			}
+			for _, j := range created {
+				_ = sm.shards[j].Drop(arr.Name, false)
+			}
 			return fmt.Errorf("storage: shard %d (%s): %w", i, sm.dirs[i], err)
 		}
+		created = append(created, i)
 	}
+	sm.mu.Lock()
+	sm.arrays[arr.Name] = arr
+	sm.mu.Unlock()
 	return nil
 }
 
-// Create opens the store for an array in every shard.
+// Create opens the store for an array on every live shard.
 func (sm *ShardedManager) Create(arr *prog.Array) error {
 	return sm.createStores(arr)
 }
@@ -361,41 +507,270 @@ func (sm *ShardedManager) CreateAll(p *prog.Program) error {
 	return nil
 }
 
-// shardFor routes one block.
-func (sm *ShardedManager) shardFor(array string, r, c int64) *Manager {
-	return sm.shards[sm.place(array, r, c, len(sm.shards))]
+// primaryFor routes one block to its primary shard index.
+func (sm *ShardedManager) primaryFor(array string, r, c int64) int {
+	return sm.place(array, r, c, len(sm.shards))
 }
 
-// WriteBlock stores one block on its owning shard.
+// offline reports whether shard i should be skipped by writes, creates,
+// and drops: degraded and not currently healing. A healing shard takes
+// writes again (so the re-mirror scan cannot race ahead of live traffic)
+// but stays invisible to reads until Repair completes.
+func (sm *ShardedManager) offline(i int) bool {
+	return sm.degraded[i].Load() && !sm.healing[i].Load()
+}
+
+// WriteBlock stores one block on every live shard of its replica set (the
+// primary plus the next Replicas-1 shards in ring order). Degraded shards
+// are skipped — Repair re-mirrors them later; a write with no live replica
+// at all is an error (the open refuses such a store, so this only guards
+// racing DegradeShard calls).
 func (sm *ShardedManager) WriteBlock(array string, r, c int64, blk *blas.Matrix) error {
-	return sm.shardFor(array, r, c).WriteBlock(array, r, c, blk)
+	sm.healMu.RLock()
+	defer sm.healMu.RUnlock()
+	n := len(sm.shards)
+	p := sm.primaryFor(array, r, c)
+	wrote := 0
+	var errs []error
+	for j := 0; j < sm.replicas; j++ {
+		i := (p + j) % n
+		if sm.offline(i) {
+			continue
+		}
+		if err := sm.shards[i].WriteBlock(array, r, c, blk); err != nil {
+			// Write-through to a healing shard is best effort: a store the
+			// repair scan has not ensured yet just means the block is
+			// re-mirrored (or served by fallback) later.
+			if sm.healing[i].Load() {
+				continue
+			}
+			errs = append(errs, fmt.Errorf("storage: shard %d (%s): %w", i, sm.dirs[i], err))
+			continue
+		}
+		wrote++
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	if wrote == 0 {
+		return fmt.Errorf("storage: write %s[%d,%d]: every replica shard is degraded", array, r, c)
+	}
+	return nil
 }
 
-// ReadBlock fetches one block from its owning shard. Concurrent reads of
-// blocks on different shards proceed fully in parallel (independent
-// devices); concurrent reads of the same block coalesce inside its shard.
+// ReadBlock fetches one block from its primary shard, falling back to the
+// next replicas in ring order when the primary is degraded or fails — each
+// fallback served is counted against the primary as a DegradedRead.
+// Concurrent reads of blocks on different shards proceed fully in parallel
+// (independent devices); concurrent reads of the same block coalesce inside
+// the shard that serves them.
 func (sm *ShardedManager) ReadBlock(array string, r, c int64) (*blas.Matrix, error) {
-	return sm.shardFor(array, r, c).ReadBlock(array, r, c)
+	n := len(sm.shards)
+	p := sm.primaryFor(array, r, c)
+	var firstErr error
+	for j := 0; j < sm.replicas; j++ {
+		i := (p + j) % n
+		if sm.degraded[i].Load() {
+			continue
+		}
+		blk, err := sm.shards[i].ReadBlock(array, r, c)
+		if err == nil {
+			if i != p {
+				sm.degradedReads[p].Add(1)
+			}
+			return blk, nil
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("storage: shard %d (%s): %w", i, sm.dirs[i], err)
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("storage: read %s[%d,%d]: every replica shard is degraded", array, r, c)
+	}
+	return nil, firstErr
 }
 
-// Drop closes and unregisters the array's stores on every shard and, if the
-// array was cataloged, removes it from the persisted catalog.
-func (sm *ShardedManager) Drop(array string, deleteFile bool) error {
-	var first error
-	for _, m := range sm.shards {
-		if err := m.Drop(array, deleteFile); err != nil && first == nil {
-			first = err
+// DegradeShard takes one shard offline: its open stores are closed (so
+// reads cannot be served from file descriptors of lost files), subsequent
+// reads fall back to replicas, writes skip it, and — on a persistent store
+// — its manifest is removed so a crash or reopen sees it degraded too. It
+// fails when losing the shard would leave some block with no live replica.
+// Repair undoes it.
+func (sm *ShardedManager) DegradeShard(shard int) error {
+	if shard < 0 || shard >= len(sm.shards) {
+		return fmt.Errorf("storage: shard %d out of range (%d shards)", shard, len(sm.shards))
+	}
+	if sm.healing[shard].Load() {
+		return fmt.Errorf("storage: shard %d is being repaired", shard)
+	}
+	if sm.degraded[shard].Load() {
+		return nil
+	}
+	sm.degraded[shard].Store(true)
+	if p := sm.uncoveredPrimary(); p >= 0 {
+		sm.degraded[shard].Store(false)
+		return fmt.Errorf("storage: cannot degrade shard %d: blocks with primary shard %d would have no surviving replica (%d-way replication)", shard, p, sm.replicas)
+	}
+	// The on-disk state must commit to "degraded" before the in-memory
+	// state does anything irreversible: if the manifest cannot be removed,
+	// a restart would reopen the shard healthy while this process skipped
+	// its writes — stale data with no error. Refuse and stay healthy
+	// instead.
+	if sm.persist {
+		if err := os.Remove(filepath.Join(sm.dirs[shard], manifestName)); err != nil && !os.IsNotExist(err) {
+			sm.degraded[shard].Store(false)
+			return fmt.Errorf("storage: shard %d (%s): remove manifest: %w", shard, sm.dirs[shard], err)
 		}
 	}
 	sm.mu.Lock()
+	names := make([]string, 0, len(sm.arrays))
+	for name := range sm.arrays {
+		names = append(names, name)
+	}
+	sm.mu.Unlock()
+	for _, name := range names {
+		_ = sm.shards[shard].Drop(name, false) // best effort: the files may already be gone
+	}
+	return nil
+}
+
+// Repair re-mirrors one degraded shard from the surviving replicas: the
+// shard's leftover store files are wiped (they may hold blocks from before
+// the loss, or from since-dropped arrays — re-reading them would serve
+// stale data), every block whose replica set includes the shard is read
+// from a live copy and rewritten there, the shard's degraded flag and
+// DegradedReads counter are cleared, and — on a persistent store — its
+// manifest is rewritten, so the next open sees a healthy shard.
+//
+// Repair is safe against live traffic: once the scan starts the shard
+// accepts write-through (healing state; reads still skip it), and each
+// block copy excludes concurrent writers, so a copy of an older replica
+// value can never overwrite a newer concurrent write. Blocks no surviving
+// replica can produce are skipped (they were never written); losing them
+// entirely is the coverage-lost condition the open already refuses. A
+// shard that is not degraded needs no repair: Repair returns nil without
+// touching it.
+func (sm *ShardedManager) Repair(shard int) error {
+	n := len(sm.shards)
+	if shard < 0 || shard >= n {
+		return fmt.Errorf("storage: shard %d out of range (%d shards)", shard, n)
+	}
+	if !sm.degraded[shard].Load() {
+		return nil
+	}
+	if sm.replicas < 2 {
+		return fmt.Errorf("storage: repair needs replication (replicas=%d): no replica holds shard %d's blocks", sm.replicas, shard)
+	}
+	if !sm.healing[shard].CompareAndSwap(false, true) {
+		return fmt.Errorf("storage: shard %d is already being repaired", shard)
+	}
+	defer sm.healing[shard].Store(false)
+	sm.mu.Lock()
+	names := make([]string, 0, len(sm.arrays))
+	for name := range sm.arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	arrays := make([]*prog.Array, len(names))
+	for i, name := range names {
+		arrays[i] = sm.arrays[name]
+	}
+	sm.mu.Unlock()
+	// The lost shard may be gone directory and all; recreate it, then
+	// start every store from an empty file — anything left on disk
+	// predates the loss and must not survive the re-mirror.
+	if err := os.MkdirAll(sm.dirs[shard], 0o755); err != nil {
+		return fmt.Errorf("storage: repair shard %d (%s): %w", shard, sm.dirs[shard], err)
+	}
+	target := sm.shards[shard]
+	for _, arr := range arrays {
+		// A previous partial repair may have left a store open on the
+		// fd of the file about to be wiped; close it first.
+		_ = target.Drop(arr.Name, false)
+		path := filepath.Join(sm.dirs[shard], arr.Name+"."+sm.format.String())
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("storage: repair shard %d (%s): wipe stale %s: %w", shard, sm.dirs[shard], arr.Name, err)
+		}
+		if err := target.ensure(arr); err != nil {
+			return fmt.Errorf("storage: repair shard %d (%s): %w", shard, sm.dirs[shard], err)
+		}
+	}
+	for _, arr := range arrays {
+		for r := int64(0); r < int64(arr.GridRows); r++ {
+			for c := int64(0); c < int64(arr.GridCols); c++ {
+				p := sm.primaryFor(arr.Name, r, c)
+				mirrored := false
+				for j := 0; j < sm.replicas; j++ {
+					if (p+j)%n == shard {
+						mirrored = true
+						break
+					}
+				}
+				if !mirrored {
+					continue
+				}
+				if err := sm.copyBlock(arr.Name, r, c, p, shard); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	sm.degraded[shard].Store(false)
+	sm.degradedReads[shard].Store(0)
+	return sm.saveManifests()
+}
+
+// copyBlock re-mirrors one block onto the healing shard under the
+// exclusive side of healMu, so it cannot interleave with (and then
+// overwrite) a concurrent replica-set write of the same block.
+func (sm *ShardedManager) copyBlock(array string, r, c int64, primary, shard int) error {
+	sm.healMu.Lock()
+	defer sm.healMu.Unlock()
+	n := len(sm.shards)
+	var blk *blas.Matrix
+	for j := 0; j < sm.replicas; j++ {
+		i := (primary + j) % n
+		if i == shard || sm.degraded[i].Load() {
+			continue
+		}
+		if b, err := sm.shards[i].ReadBlock(array, r, c); err == nil {
+			blk = b
+			break
+		}
+	}
+	if blk == nil {
+		return nil // never written; nothing to mirror
+	}
+	if err := sm.shards[shard].WriteBlock(array, r, c, blk); err != nil {
+		return fmt.Errorf("storage: repair shard %d (%s): %s[%d,%d]: %w", shard, sm.dirs[shard], array, r, c, err)
+	}
+	return nil
+}
+
+// Drop closes and unregisters the array's stores on every live shard and,
+// if the array was cataloged, removes it from the persisted catalog. Shard
+// failures are aggregated — every failed shard is named — rather than
+// reported first-only.
+func (sm *ShardedManager) Drop(array string, deleteFile bool) error {
+	var errs []error
+	for i, m := range sm.shards {
+		if sm.offline(i) {
+			continue
+		}
+		if err := m.Drop(array, deleteFile); err != nil && !sm.healing[i].Load() {
+			errs = append(errs, fmt.Errorf("storage: shard %d (%s): %w", i, sm.dirs[i], err))
+		}
+	}
+	sm.mu.Lock()
+	delete(sm.arrays, array)
 	if _, ok := sm.catalog[array]; ok {
 		delete(sm.catalog, array)
-		if err := sm.saveManifestsLocked(); err != nil && first == nil {
-			first = err
+		if err := sm.saveManifestsLocked(); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	sm.mu.Unlock()
-	return first
+	return errors.Join(errs...)
 }
 
 // Stats sums the physical I/O counters across shards.
@@ -411,18 +786,32 @@ func (sm *ShardedManager) Stats() Stats {
 	return total
 }
 
-// ShardStats is one shard's physical I/O with its directory.
+// ShardStats is one shard's physical I/O with its directory, degraded
+// state, and degraded-read count.
 type ShardStats struct {
 	Dir string `json:"dir"`
+	// Degraded marks a shard that is offline: reads it would have served
+	// fall back to replicas, writes skip it, Repair brings it back.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReads counts reads whose primary is this shard that a
+	// replica had to serve instead — the ongoing cost of running degraded.
+	// Repair resets it.
+	DegradedReads int64 `json:"degradedReads,omitempty"`
 	Stats
 }
 
 // ShardStats snapshots per-shard physical I/O, in shard order — the
-// per-device utilization view a placement function is judged by.
+// per-device utilization view a placement function is judged by, plus each
+// shard's degraded state and fallback-read count.
 func (sm *ShardedManager) ShardStats() []ShardStats {
 	out := make([]ShardStats, len(sm.shards))
 	for i, m := range sm.shards {
-		out[i] = ShardStats{Dir: sm.dirs[i], Stats: m.Stats()}
+		out[i] = ShardStats{
+			Dir:           sm.dirs[i],
+			Degraded:      sm.degraded[i].Load(),
+			DegradedReads: sm.degradedReads[i].Load(),
+			Stats:         m.Stats(),
+		}
 	}
 	return out
 }
@@ -430,8 +819,32 @@ func (sm *ShardedManager) ShardStats() []ShardStats {
 // Shards returns the shard count.
 func (sm *ShardedManager) Shards() int { return len(sm.shards) }
 
+// Replicas returns the replication factor (1 = unreplicated).
+func (sm *ShardedManager) Replicas() int { return sm.replicas }
+
 // Placement returns the placement name routing blocks to shards.
 func (sm *ShardedManager) Placement() string { return sm.placeName }
+
+// Degraded lists the currently degraded shard indexes, in order.
+func (sm *ShardedManager) Degraded() []int {
+	var out []int
+	for i := range sm.degraded {
+		if sm.degraded[i].Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DegradedReads sums the fallback reads across every shard — zero on a
+// fully healthy store.
+func (sm *ShardedManager) DegradedReads() int64 {
+	var total int64
+	for i := range sm.degradedReads {
+		total += sm.degradedReads[i].Load()
+	}
+	return total
+}
 
 // Reopened reports whether OpenSharded found an existing manifest — the
 // open-existing (restart) path as opposed to a fresh store.
@@ -447,8 +860,8 @@ func (sm *ShardedManager) SharedEntry(name string) (CatalogEntry, bool) {
 }
 
 // RecordShared catalogs a filled shared input array under its fill
-// fingerprint and persists the manifest to every shard root. No-op without
-// Persist.
+// fingerprint and persists the manifest to every live shard root. No-op
+// without Persist.
 func (sm *ShardedManager) RecordShared(arr *prog.Array, fingerprint string) error {
 	if !sm.persist {
 		return nil
@@ -467,15 +880,16 @@ func (sm *ShardedManager) SetLatency(read, write time.Duration) {
 	}
 }
 
-// Close closes every shard.
+// Close closes every shard, aggregating failures so every failed shard is
+// named.
 func (sm *ShardedManager) Close() error {
-	var first error
-	for _, m := range sm.shards {
-		if err := m.Close(); err != nil && first == nil {
-			first = err
+	var errs []error
+	for i, m := range sm.shards {
+		if err := m.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("storage: close shard %d (%s): %w", i, sm.dirs[i], err))
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // ShardDirs derives N shard directory paths under one root (shard-0 …

@@ -177,15 +177,22 @@ type StorageBackend = storage.Backend
 
 // ShardedStorage stripes blocks across N shard directories (stand-ins for
 // devices) with deterministic placement, per-shard physical I/O stats, and
-// parallel cross-shard reads. With persistence enabled it catalogs shared
-// arrays in a per-shard-root manifest so they survive restarts.
+// parallel cross-shard reads. With Replicas = k > 1 each block is mirrored
+// on its primary shard plus the next k-1 in ring order: a lost shard then
+// degrades reads to the surviving replicas (DegradeShard takes one offline
+// explicitly, DegradedReads counts the fallbacks) and Repair re-mirrors it
+// in place. With persistence enabled it catalogs shared arrays in a
+// per-shard-root manifest — written atomically and fsynced — so they
+// survive restarts, and a shard whose manifest is lost or torn reopens
+// degraded instead of failing while replication still covers every block.
 type ShardedStorage = storage.ShardedManager
 
 // ShardedStorageOptions configures OpenShardedStorage (format, placement,
-// persistence).
+// replication, persistence).
 type ShardedStorageOptions = storage.ShardedOptions
 
-// ShardStats is one shard's physical I/O counters with its directory.
+// ShardStats is one shard's physical I/O counters with its directory,
+// degraded state, and degraded-read (replica fallback) count.
 type ShardStats = storage.ShardStats
 
 // Placement names for sharded storage: hash of array/block coordinates, or
@@ -298,7 +305,9 @@ type ServerConfig = server.Config
 // Server is the multi-query analytics service: a session/admission layer
 // that optimizes submissions through a plan cache, admits up to K
 // concurrent executions under a global memory cap, and runs them over one
-// shared buffer pool.
+// shared buffer pool. On a replicated sharded store (ServerConfig.Replicas
+// >= 2) it survives a lost shard directory — reads degrade to replicas —
+// and RepairShard (or POST /repair) heals the shard in place.
 type Server = server.Server
 
 // QueryRequest is one program submission: a named benchmark program or a
