@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race test-full bench bench-json bench-check lint fmt
+.PHONY: build test test-race test-full bench bench-json bench-check lint fmt doc-check smoke
 
 build:
 	$(GO) build ./...
@@ -25,11 +25,13 @@ bench:
 # (op, ns/op, hit rate) into BENCH_pool.json, the eviction-policy
 # comparison (LRU vs segmented hot-set hit rate under a flooding scan) into
 # BENCH_cache.json, the sharded-vs-single-directory parallel-read benchmark
-# into BENCH_shard.json, and the replication benchmarks (k-way write
+# into BENCH_shard.json, the replication benchmarks (k-way write
 # amplification, healthy vs degraded-fallback read latency) into
-# BENCH_replica.json. CI uploads all four as artifacts and gates on them
-# via bench-check. Each step runs separately so a failing benchmark fails
-# the target.
+# BENCH_replica.json, and the network block-service round-trip benchmarks
+# (remote read/write vs local dir, pipelined vs serial under device
+# latency) into BENCH_remote.json. CI uploads all five as artifacts and
+# gates on them via bench-check. Each step runs separately so a failing
+# benchmark fails the target.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelExec' -benchtime 3x . > .bench-exec.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchmem ./internal/buffer > .bench-pool.txt
@@ -40,7 +42,9 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_shard.json < .bench-shard.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkReplicatedWrite|BenchmarkDegradedRead' -benchtime 5x ./internal/storage > .bench-replica.txt
 	$(GO) run ./cmd/benchjson -out BENCH_replica.json < .bench-replica.txt
-	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt .bench-shard.txt .bench-replica.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkRemote' -benchtime 20x ./internal/blockd > .bench-remote.txt
+	$(GO) run ./cmd/benchjson -out BENCH_remote.json < .bench-remote.txt
+	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt .bench-shard.txt .bench-replica.txt .bench-remote.txt
 
 # Bench-regression gate: stash the committed baselines, rerun the
 # benchmarks, and fail on a >25% ns/op regression against any baseline.
@@ -48,13 +52,25 @@ bench-json:
 # baseline deliberately.
 bench-check:
 	@mkdir -p .bench-base
-	cp BENCH_pool.json BENCH_cache.json BENCH_shard.json BENCH_replica.json .bench-base/
+	cp BENCH_pool.json BENCH_cache.json BENCH_shard.json BENCH_replica.json BENCH_remote.json .bench-base/
 	$(MAKE) bench-json
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_pool.json BENCH_pool.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_cache.json BENCH_cache.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_shard.json BENCH_shard.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_replica.json BENCH_replica.json -tolerance 0.25
+	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_remote.json BENCH_remote.json -tolerance 0.25
 	@rm -rf .bench-base
+
+# Godoc completeness over the public surface: the facade, the storage and
+# server layers, and the network plane. CI fails on any exported
+# identifier without a doc comment.
+doc-check:
+	$(GO) run ./cmd/doccheck . ./internal/storage ./internal/server ./internal/blockd ./internal/blockproto
+
+# End-to-end fleet smoke test: 4 riotblockd + riotshared, query, kill a
+# server, repair, restart against the persisted catalog.
+smoke:
+	./scripts/remote_smoke.sh
 
 lint:
 	$(GO) vet ./...

@@ -174,10 +174,19 @@ func compareFiles(oldPath, newPath string, tolerance float64, w *os.File) (regre
 		}
 		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, delta*100, verdict)
 	}
-	for name, n := range newRecs {
+	// Benchmarks only the new file has (a benchmark that just landed, run
+	// against a baseline predating it): note them, in stable order, and
+	// skip the comparison — there is nothing to regress against until the
+	// baseline is refreshed.
+	var added []string
+	for name := range newRecs {
 		if _, ok := oldRecs[name]; !ok {
-			fmt.Fprintf(w, "%-60s %14s %14.0f %8s\n", name, "-", n.NsPerOp, "new")
+			added = append(added, name)
 		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(w, "%-60s %14s %14.0f %8s  skipped: no baseline\n", name, "-", newRecs[name].NsPerOp, "new")
 	}
 	return regressions, nil
 }

@@ -1,0 +1,71 @@
+// Command riotblockd is the standalone network block server: it exposes
+// one shard root directory over the blockproto wire protocol, so a
+// riotshared front-end can stripe a block store across machines instead of
+// local directories (shard specs `host:port` and `dir` mix freely).
+//
+//	riotblockd -addr :8441 -root /var/lib/riotshare/shard-0
+//	riotshared serve -shard-addrs host0:8441,host1:8441,host2:8441,host3:8441 -replicas 2 -persist
+//
+// One process serves one shard; run one riotblockd per shard root. The
+// protocol is specified in docs/remote-protocol.md and the deployment
+// runbook in docs/operations.md. The server shuts down gracefully on
+// SIGINT/SIGTERM: the listener closes, in-flight connections drain, block
+// stores close.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"riotshare/internal/blockd"
+	"riotshare/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "riotblockd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr   = flag.String("addr", ":8441", "listen address")
+		root   = flag.String("root", "", "shard root directory this server exposes (required)")
+		format = flag.String("format", "daf", "block format: daf or lab-tree (must match the front-end's -format)")
+		serial = flag.Bool("serial-device", false, "serve one simulated-latency request at a time (device modeling experiments)")
+		quiet  = flag.Bool("quiet", false, "suppress per-connection logging")
+	)
+	flag.Parse()
+	if *root == "" {
+		return fmt.Errorf("-root required: the shard directory this server exposes")
+	}
+	f := storage.FormatDAF
+	switch *format {
+	case "daf":
+	case "lab-tree":
+		f = storage.FormatLABTree
+	default:
+		return fmt.Errorf("unknown format %q (daf, lab-tree)", *format)
+	}
+	opt := blockd.Options{Format: f, SerialDevice: *serial}
+	if !*quiet {
+		opt.Logf = blockd.StdLogf
+	}
+	srv, err := blockd.New(*root, opt)
+	if err != nil {
+		return err
+	}
+	if err := srv.ListenAndServe(*addr); err != nil {
+		return err
+	}
+	fmt.Printf("riotblockd: serving shard root %s on %s (format %s)\n", *root, srv.Addr(), f)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("riotblockd: shutting down")
+	return srv.Close()
+}

@@ -9,6 +9,7 @@
 //	riotshared serve -data /var/lib/riotshare -shards 4 -persist   # striped + restart-persistent
 //	riotshared serve -shard-dirs /mnt/d0,/mnt/d1 -persist          # explicit devices
 //	riotshared serve -data /var/lib/riotshare -shards 4 -replicas 2 -persist  # lost shard → degraded reads
+//	riotshared serve -shard-addrs h0:8441,h1:8441,h2:8441,h3:8441 -replicas 2 -persist  # remote riotblockd shards
 //	riotshared serve -policy segmented -tenant-quota-mb acme=64,beta=32 \
 //	    -tenant-weight acme=3 -tenant-concurrent acme=2 -tenant-mem-mb acme=512
 //
@@ -82,11 +83,12 @@ func serve(fs *flag.FlagSet, args []string) error {
 		seed     = fs.Int64("seed", 1, "synthetic input data seed")
 		full     = fs.Bool("full", false, "full plan-space search for linreg (minutes)")
 
-		shards    = fs.Int("shards", 1, "stripe the block store across N shard dirs under -data (devices)")
-		shardDirs = fs.String("shard-dirs", "", "explicit comma-separated shard directories (overrides -shards; order matters)")
-		placement = fs.String("placement", "", "block placement across shards: hash (default) or rows")
-		replicas  = fs.Int("replicas", 1, "mirror each block on k shards (ring order); a lost shard then degrades reads instead of failing the open")
-		persist   = fs.Bool("persist", false, "persist shared input arrays across restarts (manifest catalog; requires -data or -shard-dirs)")
+		shards     = fs.Int("shards", 1, "stripe the block store across N shard dirs under -data (devices)")
+		shardDirs  = fs.String("shard-dirs", "", "explicit comma-separated shard directories (overrides -shards; order matters)")
+		shardAddrs = fs.String("shard-addrs", "", "comma-separated host:port addresses of riotblockd servers, appended after -shard-dirs as remote shards (order matters)")
+		placement  = fs.String("placement", "", "block placement across shards: hash (default) or rows")
+		replicas   = fs.Int("replicas", 1, "mirror each block on k shards (ring order); a lost shard then degrades reads instead of failing the open")
+		persist    = fs.Bool("persist", false, "persist shared input arrays across restarts (manifest catalog; requires -data, -shard-dirs, or -shard-addrs)")
 
 		quotaMB    = fs.String("tenant-quota-mb", "", "per-tenant pool quotas, e.g. acme=64,beta=32 (MB)")
 		weights    = fs.String("tenant-weight", "", "per-tenant admission weights, e.g. acme=3,beta=1")
@@ -109,18 +111,17 @@ func serve(fs *flag.FlagSet, args []string) error {
 	if err != nil {
 		return err
 	}
-	var dirs []string
-	if *shardDirs != "" {
-		for _, d := range strings.Split(*shardDirs, ",") {
-			if d = strings.TrimSpace(d); d != "" {
-				dirs = append(dirs, d)
-			}
+	dirs := splitList(*shardDirs)
+	addrs := splitList(*shardAddrs)
+	for _, a := range addrs {
+		if !storage.IsRemoteSpec(a) {
+			return fmt.Errorf("-shard-addrs: %q is not a host:port address", a)
 		}
 	}
-	if *persist && *dir == "" && len(dirs) == 0 {
-		return fmt.Errorf("-persist needs a real data directory: set -data or -shard-dirs")
+	if *persist && *dir == "" && len(dirs) == 0 && len(addrs) == 0 {
+		return fmt.Errorf("-persist needs a real data directory: set -data, -shard-dirs, or -shard-addrs")
 	}
-	if *dir == "" && len(dirs) == 0 {
+	if *dir == "" && len(dirs) == 0 && len(addrs) == 0 {
 		d, err := os.MkdirTemp("", "riotshared-*")
 		if err != nil {
 			return err
@@ -142,6 +143,7 @@ func serve(fs *flag.FlagSet, args []string) error {
 		Format:               f,
 		Shards:               *shards,
 		ShardDirs:            dirs,
+		ShardAddrs:           addrs,
 		Placement:            *placement,
 		Replicas:             *replicas,
 		Persist:              *persist,
@@ -161,6 +163,17 @@ func serve(fs *flag.FlagSet, args []string) error {
 		err = nil
 	}
 	return err
+}
+
+// splitList parses a comma-separated flag list, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // parseTenantInts parses "name=value,name=value" flag lists.

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"riotshare/internal/blas"
+	"riotshare/internal/blockd"
 	"riotshare/internal/buffer"
 	"riotshare/internal/core"
 	"riotshare/internal/disk"
@@ -274,6 +276,53 @@ func TestParallelMatchesSequential(t *testing.T) {
 						assertIdentical(t, pl.Label+"+degraded", cfg.workers, seq, deg, seqOut, degOut)
 						if sm.DegradedReads() == 0 {
 							t.Errorf("plan %s: degraded run issued no replica-fallback reads", pl.Label)
+						}
+						sm.Close()
+					}
+					// Remote shards: the same store striped over in-process
+					// riotblockd servers (2-way replicated) must be
+					// execution-invisible too — same Result, bit-identical
+					// outputs. Then kill one server and run again: the dead
+					// shard degrades automatically and replica fallbacks
+					// keep the run bit-identical.
+					{
+						cfg := runConfig{format: format, workers: 4, shards: 2, replicas: 2}
+						servers := make([]*blockd.Server, cfg.shards)
+						addrs := make([]string, cfg.shards)
+						for i := range servers {
+							srv, err := blockd.New(t.TempDir(), blockd.Options{Format: format})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+								t.Fatal(err)
+							}
+							defer srv.Close()
+							servers[i] = srv
+							addrs[i] = srv.Addr()
+						}
+						sm, err := storage.OpenSharded(addrs, storage.ShardedOptions{
+							Format: cfg.format, Replicas: cfg.replicas,
+							Remote: storage.RemoteOptions{Retries: 1, RetryBackoff: 5 * time.Millisecond},
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := sm.CreateAll(tc.prog); err != nil {
+							t.Fatal(err)
+						}
+						fillInputs(t, tc.prog, sm, 42)
+						rem, remOut := runPlanOn(t, tc.prog, pl, sm, cfg)
+						assertIdentical(t, pl.Label+"+remote", cfg.workers, seq, rem, seqOut, remOut)
+
+						servers[1].Close() // kill one riotblockd mid-suite
+						kill, killOut := runPlanOn(t, tc.prog, pl, sm, cfg)
+						assertIdentical(t, pl.Label+"+remote-kill", cfg.workers, seq, kill, seqOut, killOut)
+						if got := sm.Degraded(); len(got) != 1 || got[0] != 1 {
+							t.Errorf("plan %s: Degraded() = %v after killing server 1, want [1]", pl.Label, got)
+						}
+						if sm.DegradedReads() == 0 {
+							t.Errorf("plan %s: remote kill run issued no replica-fallback reads", pl.Label)
 						}
 						sm.Close()
 					}

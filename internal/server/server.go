@@ -58,6 +58,16 @@ type Config struct {
 	// or mounts); it overrides Shards/Dir-derived layout. Order matters
 	// and is validated against the persisted manifests.
 	ShardDirs []string
+	// ShardAddrs names remote shards — host:port addresses of riotblockd
+	// servers — appended after ShardDirs, so local directories and remote
+	// servers mix freely in one store. Order matters like ShardDirs.
+	// Placement, replication, manifests, and results are identical to an
+	// all-local layout; a server that stops answering degrades its shard
+	// (replication permitting) instead of failing queries.
+	ShardAddrs []string
+	// Remote tunes the client for each remote shard (pool size, timeouts,
+	// retry policy); zero value = defaults.
+	Remote storage.RemoteOptions
 	// Placement selects the block→shard mapping ("" or "hash", "rows").
 	Placement string
 	// Replicas mirrors each block on k shards (primary plus the next k-1
@@ -308,12 +318,13 @@ type inputState struct {
 }
 
 // New creates a service with its shared storage backend and buffer pool.
-// With Shards > 1, ShardDirs, or Persist set, the backend is a sharded
-// store; with Persist it reopens an existing data directory, restoring the
-// shared-input catalog so matching inputs are served without a refill.
+// With Shards > 1, ShardDirs, ShardAddrs, or Persist set, the backend is a
+// sharded store (striped over local directories, remote riotblockd
+// servers, or a mix); with Persist it reopens an existing store, restoring
+// the shared-input catalog so matching inputs are served without a refill.
 func New(cfg Config) (*Server, error) {
-	if cfg.Dir == "" && len(cfg.ShardDirs) == 0 {
-		return nil, errors.New("server: Config.Dir or Config.ShardDirs required")
+	if cfg.Dir == "" && len(cfg.ShardDirs) == 0 && len(cfg.ShardAddrs) == 0 {
+		return nil, errors.New("server: Config.Dir, Config.ShardDirs, or Config.ShardAddrs required")
 	}
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2
@@ -323,20 +334,22 @@ func New(cfg Config) (*Server, error) {
 		sharded *storage.ShardedManager
 		err     error
 	)
-	if cfg.Shards > 1 || len(cfg.ShardDirs) > 0 || cfg.Persist || cfg.Placement != "" || cfg.Replicas > 1 {
-		dirs := cfg.ShardDirs
-		if len(dirs) == 0 {
+	if cfg.Shards > 1 || len(cfg.ShardDirs) > 0 || len(cfg.ShardAddrs) > 0 || cfg.Persist || cfg.Placement != "" || cfg.Replicas > 1 {
+		specs := cfg.ShardDirs
+		if len(specs) == 0 && len(cfg.ShardAddrs) == 0 {
 			n := cfg.Shards
 			if n <= 1 {
 				n = 1
 			}
-			dirs = storage.ShardDirs(cfg.Dir, n)
+			specs = storage.ShardDirs(cfg.Dir, n)
 		}
-		sharded, err = storage.OpenSharded(dirs, storage.ShardedOptions{
+		specs = append(append([]string{}, specs...), cfg.ShardAddrs...)
+		sharded, err = storage.OpenSharded(specs, storage.ShardedOptions{
 			Format:    cfg.Format,
 			Placement: cfg.Placement,
 			Replicas:  cfg.Replicas,
 			Persist:   cfg.Persist,
+			Remote:    cfg.Remote,
 		})
 		m = sharded
 	} else {

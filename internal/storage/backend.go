@@ -16,13 +16,14 @@ import (
 // buffer pool, the execution engines, and the multi-query server are
 // placement-agnostic.
 type Backend interface {
-	// Create opens (or reopens) the store for an array; CreateAll does so
-	// for every array of a program.
+	// Create opens (or reopens) the store for an array.
 	Create(arr *prog.Array) error
+	// CreateAll opens the stores for every array of a program.
 	CreateAll(p *prog.Program) error
-	// WriteBlock and ReadBlock move one block; concurrent reads of the
-	// same block coalesce onto one physical request.
+	// WriteBlock stores one block.
 	WriteBlock(array string, r, c int64, blk *blas.Matrix) error
+	// ReadBlock fetches one block; concurrent reads of the same block
+	// coalesce onto one physical request.
 	ReadBlock(array string, r, c int64) (*blas.Matrix, error)
 	// Drop closes and unregisters one array's store, optionally deleting
 	// its file(s).

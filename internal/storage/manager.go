@@ -17,9 +17,13 @@ import (
 // BlockStore is the per-array key→payload store shared by the DAF and
 // LAB-tree formats.
 type BlockStore interface {
+	// Write stores one block payload under its linearized index.
 	Write(idx uint64, data []byte) error
+	// Read fetches the payload stored under idx.
 	Read(idx uint64) ([]byte, error)
+	// Sync flushes buffered writes to the device.
 	Sync() error
+	// Close releases the store's file handle(s).
 	Close() error
 }
 
@@ -273,6 +277,15 @@ func (m *Manager) Create(arr *prog.Array) error {
 	m.stores[arr.Name] = st
 	m.arrays[arr.Name] = arr
 	return nil
+}
+
+// Registered returns the array a name is currently registered under, or
+// nil — how the block server decides whether an ensure-create can reuse an
+// existing registration or must reopen it under a new geometry.
+func (m *Manager) Registered(name string) *prog.Array {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.arrays[name]
 }
 
 // ensure opens the array's store unless it is already registered. Create

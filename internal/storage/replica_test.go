@@ -71,7 +71,8 @@ func TestReplicatedRoundTrip(t *testing.T) {
 // data served from replicas, counted per primary shard — not fail them;
 // Repair must re-mirror the shard and reset the counter.
 func TestDegradeAndRepair(t *testing.T) {
-	sm, err := OpenSharded(ShardDirs(t.TempDir(), 3), ShardedOptions{Replicas: 2})
+	dirs := ShardDirs(t.TempDir(), 3)
+	sm, err := OpenSharded(dirs, ShardedOptions{Replicas: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestDegradeAndRepair(t *testing.T) {
 	}
 	// Remove the directory outright: fallbacks must come from replicas on
 	// other shards, not surviving file descriptors.
-	if err := os.RemoveAll(sm.dirs[1]); err != nil {
+	if err := os.RemoveAll(dirs[1]); err != nil {
 		t.Fatal(err)
 	}
 	assertBlocks(t, sm, arr, want)

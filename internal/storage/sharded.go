@@ -1,30 +1,35 @@
-// sharded.go stripes a block store across several shard directories —
-// stand-ins for independent devices (or, with network mounts, machines).
-// Every block of every array has a primary shard, chosen by a deterministic
-// placement function of the array name and block coordinates, so any
-// process opening the same directories sees the same layout. Each shard is
-// a full single-directory Manager: physical I/O counters stay per-shard
-// (per-device utilization is visible), concurrent reads of blocks on
-// different shards proceed in parallel (each shard is its own simulated
-// device), and coalescing still works because one block always routes to
-// one shard.
+// sharded.go stripes a block store across several shards — local
+// directories standing in for independent devices, remote riotblockd
+// servers standing on other machines, mixed freely (a shard spec is a
+// directory path or a host:port address; see IsRemoteSpec). Every block of
+// every array has a primary shard, chosen by a deterministic placement
+// function of the array name and block coordinates, so any process opening
+// the same shard specs sees the same layout. Each shard is a full block
+// store (a single-directory Manager, or one behind a riotblockd server):
+// physical I/O counters stay per-shard (per-device utilization is visible),
+// concurrent reads of blocks on different shards proceed in parallel (each
+// shard is its own device), and coalescing still works because one block
+// always routes to one shard.
 //
 // With Replicas = k > 1 every block is mirrored on its primary shard plus
 // the next k-1 shards in ring order, under either placement. Losing a shard
 // then degrades reads instead of losing data: reads whose primary is gone
 // fall back to a surviving replica (counted per shard as DegradedReads),
 // writes skip the lost shard, and Repair re-mirrors the lost shard's blocks
-// from the survivors so the store heals in place.
+// from the survivors so the store heals in place. A remote shard whose
+// server stops answering (connection refused, retries exhausted — see
+// ErrShardUnavailable) is degraded automatically the same way, replication
+// permitting, so a killed riotblockd costs fallback reads, not failed
+// queries.
 //
 // A sharded store can be persistent: a manifest (MANIFEST.json, written
-// atomically and fsynced via atomicWriteFile) in every shard root records
-// the layout (format, shard count, replication, placement) and a catalog of
-// shared input arrays — metadata plus the fill fingerprint of their
-// synthetic data. Reopening the same directories restores the catalog, so a
-// restarted server can serve persisted inputs without refilling them; a
-// missing or corrupt manifest marks its shard degraded when replication
-// still covers every block, and fails the open with a clean error naming
-// the shard when it does not.
+// atomically and fsynced) in every shard root records the layout (format,
+// shard count, replication, placement) and a catalog of shared input arrays
+// — metadata plus the fill fingerprint of their synthetic data. Reopening
+// the same shards restores the catalog, so a restarted server can serve
+// persisted inputs without refilling them; a missing or corrupt manifest
+// marks its shard degraded when replication still covers every block, and
+// fails the open with a clean error naming the shard when it does not.
 package storage
 
 import (
@@ -34,7 +39,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -151,6 +155,8 @@ type manifest struct {
 // ShardedOptions configures OpenSharded.
 type ShardedOptions struct {
 	// Format selects the per-shard on-disk block format (default DAF).
+	// Remote shards must be served by a riotblockd started with the same
+	// -format.
 	Format Format
 	// Placement selects the block→shard mapping by name ("" or "hash",
 	// "rows").
@@ -166,19 +172,24 @@ type ShardedOptions struct {
 	// written) at open, and shared arrays recorded with RecordShared
 	// survive restarts.
 	Persist bool
-	// SerialDevice makes each shard serve one simulated-latency request at
-	// a time (see Manager.SerialDevice) — the regime where striping across
-	// shards buys parallel read bandwidth.
+	// SerialDevice makes each local shard serve one simulated-latency
+	// request at a time (see Manager.SerialDevice) — the regime where
+	// striping across shards buys parallel read bandwidth. Remote shards
+	// take it from their server's -serial-device flag instead.
 	SerialDevice bool
+	// Remote tunes the client connecting to each remote (host:port) shard:
+	// pool size, timeouts, retry policy. The zero value gets defaults; it
+	// is ignored for local directory shards.
+	Remote RemoteOptions
 }
 
-// ShardedManager stripes blocks across N shard directories behind the
-// Backend interface, optionally mirroring each block on k shards. It is
-// safe for concurrent use; requests to different shards proceed in
-// parallel.
+// ShardedManager stripes blocks across N shards — local directories and
+// remote riotblockd servers, mixed freely — behind the Backend interface,
+// optionally mirroring each block on k shards. It is safe for concurrent
+// use; requests to different shards proceed in parallel.
 type ShardedManager struct {
-	dirs      []string
-	shards    []*Manager
+	specs     []string // one per shard: directory path or host:port
+	shards    []shard
 	format    Format
 	place     PlacementFunc
 	placeName string
@@ -186,16 +197,24 @@ type ShardedManager struct {
 	persist   bool
 
 	// degraded marks shards that are offline (lost directory, torn
-	// manifest, or an explicit DegradeShard): reads skip them and fall
-	// back to a replica, writes skip them, Repair brings them back.
-	// healing marks a degraded shard mid-Repair: reads still skip it, but
-	// writes flow through (best effort) so blocks updated during the
-	// re-mirror scan are not lost when the degraded flag clears.
-	// degradedReads[i] counts reads whose primary shard i could not serve
-	// them — the ongoing cost of running degraded; Repair resets it.
+	// manifest, an unreachable server, or an explicit DegradeShard): reads
+	// skip them and fall back to a replica, writes skip them, Repair
+	// brings them back. healing marks a degraded shard mid-Repair: reads
+	// still skip it, but writes flow through (best effort) so blocks
+	// updated during the re-mirror scan are not lost when the degraded
+	// flag clears. degradedReads[i] counts reads whose primary shard i
+	// could not serve them — the ongoing cost of running degraded; Repair
+	// resets it.
 	degraded      []atomic.Bool
 	healing       []atomic.Bool
 	degradedReads []atomic.Int64
+
+	// degradeMu serializes the degrade decision (flag flip + coverage
+	// check + manifest removal) between explicit DegradeShard calls and
+	// the automatic degrade a persistent remote failure triggers, so two
+	// concurrent degrades cannot both pass the coverage check and leave a
+	// block with no live replica.
+	degradeMu sync.Mutex
 
 	// healMu orders Repair's per-block copies against concurrent writes:
 	// writers hold it shared for the duration of a replica-set write,
@@ -210,18 +229,33 @@ type ShardedManager struct {
 	reopened bool
 }
 
+// openShard builds one shard from its spec: a RemoteShard client for a
+// host:port address, a directory-backed Manager otherwise.
+func openShard(spec string, opt ShardedOptions) (shard, error) {
+	if IsRemoteSpec(spec) {
+		return NewRemoteShard(spec, opt.Remote), nil
+	}
+	m, err := NewManager(spec, opt.Format)
+	if err != nil {
+		return nil, fmt.Errorf("storage: shard %s: %w", spec, err)
+	}
+	m.SerialDevice = opt.SerialDevice
+	return &localShard{m: m, dir: spec}, nil
+}
+
 // OpenSharded opens (or creates) a sharded store over the given shard
-// directories. With Persist set it validates any existing manifests and
-// loads the shared catalog, reopening the stores of every cataloged array;
-// a cataloged array whose store files have gone missing is dropped from the
-// catalog (forcing a refill) rather than served as empty data. A shard
-// whose manifest is missing or corrupt fails the open with an error naming
-// it — unless the store is replicated and every block is still covered by a
-// surviving replica, in which case the shard is merely degraded (see
-// Degraded and Repair).
-func OpenSharded(dirs []string, opt ShardedOptions) (*ShardedManager, error) {
-	if len(dirs) == 0 {
-		return nil, fmt.Errorf("storage: OpenSharded needs at least one shard directory")
+// specs — directory paths, host:port riotblockd addresses, or a mix. With
+// Persist set it validates any existing manifests and loads the shared
+// catalog, reopening the stores of every cataloged array; a cataloged array
+// whose store files have gone missing is dropped from the catalog (forcing
+// a refill) rather than served as empty data. A shard whose manifest is
+// missing or corrupt — or whose server is unreachable — fails the open with
+// an error naming it, unless the store is replicated and every block is
+// still covered by a surviving replica, in which case the shard is merely
+// degraded (see Degraded and Repair).
+func OpenSharded(specs []string, opt ShardedOptions) (*ShardedManager, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("storage: OpenSharded needs at least one shard directory or address")
 	}
 	place, placeName, err := placementByName(opt.Placement)
 	if err != nil {
@@ -231,37 +265,36 @@ func OpenSharded(dirs []string, opt ShardedOptions) (*ShardedManager, error) {
 	if replicas <= 0 {
 		replicas = 1
 	}
-	if replicas > len(dirs) {
+	if replicas > len(specs) {
 		return nil, fmt.Errorf("storage: %d-way replication needs at least %d shards (have %d)",
-			replicas, replicas, len(dirs))
+			replicas, replicas, len(specs))
 	}
 	sm := &ShardedManager{
-		dirs:          dirs,
+		specs:         specs,
 		format:        opt.Format,
 		place:         place,
 		placeName:     placeName,
 		replicas:      replicas,
 		persist:       opt.Persist,
-		degraded:      make([]atomic.Bool, len(dirs)),
-		healing:       make([]atomic.Bool, len(dirs)),
-		degradedReads: make([]atomic.Int64, len(dirs)),
+		degraded:      make([]atomic.Bool, len(specs)),
+		healing:       make([]atomic.Bool, len(specs)),
+		degradedReads: make([]atomic.Int64, len(specs)),
 		catalog:       make(map[string]CatalogEntry),
 		arrays:        make(map[string]*prog.Array),
 	}
-	if opt.Persist {
-		if err := sm.loadManifests(); err != nil {
+	for _, spec := range specs {
+		sd, err := openShard(spec, opt)
+		if err != nil {
+			sm.Close()
 			return nil, err
 		}
-	}
-	for _, dir := range dirs {
-		m, err := NewManager(dir, opt.Format)
-		if err != nil {
-			return nil, fmt.Errorf("storage: shard %s: %w", dir, err)
-		}
-		m.SerialDevice = opt.SerialDevice
-		sm.shards = append(sm.shards, m)
+		sm.shards = append(sm.shards, sd)
 	}
 	if opt.Persist {
+		if err := sm.loadManifests(); err != nil {
+			sm.Close()
+			return nil, err
+		}
 		if err := sm.reopenCatalog(); err != nil {
 			sm.Close()
 			return nil, err
@@ -277,27 +310,28 @@ func OpenSharded(dirs []string, opt ShardedOptions) (*ShardedManager, error) {
 // loadManifests reads and cross-validates the per-shard manifests. Either
 // no shard has one (a fresh store) or every shard must carry a structurally
 // consistent one. A shard whose manifest is missing or corrupt (a lost
-// directory, a torn write) is degraded when replication still covers every
-// block, and is a clean error naming the shard otherwise. Array entries
-// that diverge across surviving shards (a crash between manifest writes)
-// are dropped from the effective catalog so their inputs get refilled
-// instead of served stale.
+// directory, a torn write, an unreachable server) is degraded when
+// replication still covers every block, and is a clean error naming the
+// shard otherwise. Array entries that diverge across surviving shards (a
+// crash between manifest writes) are dropped from the effective catalog so
+// their inputs get refilled instead of served stale.
 func (sm *ShardedManager) loadManifests() error {
-	manifests := make([]*manifest, len(sm.dirs))
-	lost := make([]error, len(sm.dirs)) // why shard i has no usable manifest
+	manifests := make([]*manifest, len(sm.shards))
+	lost := make([]error, len(sm.shards)) // why shard i has no usable manifest
 	found := 0
-	for i, dir := range sm.dirs {
-		data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	for i, sd := range sm.shards {
+		data, err := sd.ReadManifest()
 		if err != nil {
-			// A missing file and a missing directory look the same here:
-			// the shard's manifest is gone. Anything else (permissions,
-			// I/O error) is also unusable; remember why.
-			lost[i] = fmt.Errorf("storage: shard %d (%s): read manifest: %w", i, dir, err)
+			// A missing file, a missing directory, and a dead server all
+			// look the same here: the shard's manifest is unreadable.
+			// Anything else (permissions, I/O error) is also unusable;
+			// remember why.
+			lost[i] = fmt.Errorf("storage: shard %d (%s): read manifest: %w", i, sm.specs[i], err)
 			continue
 		}
 		var mf manifest
 		if err := json.Unmarshal(data, &mf); err != nil {
-			lost[i] = fmt.Errorf("storage: shard %d (%s): corrupt manifest: %w", i, dir, err)
+			lost[i] = fmt.Errorf("storage: shard %d (%s): corrupt manifest: %w", i, sm.specs[i], err)
 			continue
 		}
 		manifests[i] = &mf
@@ -310,31 +344,31 @@ func (sm *ShardedManager) loadManifests() error {
 	for i, mf := range manifests {
 		if mf == nil {
 			if errors.Is(lost[i], fs.ErrNotExist) {
-				lost[i] = fmt.Errorf("storage: shard %d (%s): manifest missing while %d other shard(s) have one — shard directory lost or wrong -shard-dirs", i, sm.dirs[i], found)
+				lost[i] = fmt.Errorf("storage: shard %d (%s): manifest missing while %d other shard(s) have one — shard directory lost or wrong -shard-dirs", i, sm.specs[i], found)
 			}
 			continue
 		}
 		if mf.Version != manifestVersion {
-			return fmt.Errorf("storage: shard %d (%s): manifest version %d, want %d", i, sm.dirs[i], mf.Version, manifestVersion)
+			return fmt.Errorf("storage: shard %d (%s): manifest version %d, want %d", i, sm.specs[i], mf.Version, manifestVersion)
 		}
 		if mf.Format != sm.format.String() {
-			return fmt.Errorf("storage: shard %d (%s): stored format %q, opened as %q", i, sm.dirs[i], mf.Format, sm.format.String())
+			return fmt.Errorf("storage: shard %d (%s): stored format %q, opened as %q", i, sm.specs[i], mf.Format, sm.format.String())
 		}
-		if mf.Shards != len(sm.dirs) {
-			return fmt.Errorf("storage: shard %d (%s): store was written with %d shard(s), reopened with %d — block placement would not match", i, sm.dirs[i], mf.Shards, len(sm.dirs))
+		if mf.Shards != len(sm.specs) {
+			return fmt.Errorf("storage: shard %d (%s): store was written with %d shard(s), reopened with %d — block placement would not match", i, sm.specs[i], mf.Shards, len(sm.specs))
 		}
 		if mf.ShardIndex != i {
-			return fmt.Errorf("storage: shard %d (%s): directory is shard %d of the store — shard directories are ordered", i, sm.dirs[i], mf.ShardIndex)
+			return fmt.Errorf("storage: shard %d (%s): directory is shard %d of the store — shard directories are ordered", i, sm.specs[i], mf.ShardIndex)
 		}
 		if mf.Placement != sm.placeName {
-			return fmt.Errorf("storage: shard %d (%s): store was written with placement %q, reopened with %q", i, sm.dirs[i], mf.Placement, sm.placeName)
+			return fmt.Errorf("storage: shard %d (%s): store was written with placement %q, reopened with %q", i, sm.specs[i], mf.Placement, sm.placeName)
 		}
 		stored := mf.Replicas
 		if stored <= 0 {
 			stored = 1
 		}
 		if stored != sm.replicas {
-			return fmt.Errorf("storage: shard %d (%s): store was written with %d-way replication, reopened with %d — replica placement would not match", i, sm.dirs[i], stored, sm.replicas)
+			return fmt.Errorf("storage: shard %d (%s): store was written with %d-way replication, reopened with %d — replica placement would not match", i, sm.specs[i], stored, sm.replicas)
 		}
 		survivors = append(survivors, mf)
 	}
@@ -381,7 +415,7 @@ func (sm *ShardedManager) loadManifests() error {
 // the coverage-lost condition — or -1 when every block still has a live
 // copy.
 func (sm *ShardedManager) uncoveredPrimary() int {
-	n := len(sm.dirs)
+	n := len(sm.specs)
 	for p := 0; p < n; p++ {
 		covered := false
 		for j := 0; j < sm.replicas; j++ {
@@ -405,11 +439,11 @@ func (sm *ShardedManager) uncoveredPrimary() int {
 func (sm *ShardedManager) reopenCatalog() error {
 	for name, e := range sm.catalog {
 		intact := true
-		for i, m := range sm.shards {
+		for i, sd := range sm.shards {
 			if sm.degraded[i].Load() {
 				continue
 			}
-			if _, err := os.Stat(filepath.Join(m.Dir, name+"."+sm.format.String())); err != nil {
+			if ok, err := sd.StoreExists(name); err != nil || !ok {
 				intact = false
 				break
 			}
@@ -418,7 +452,9 @@ func (sm *ShardedManager) reopenCatalog() error {
 			delete(sm.catalog, name)
 			continue
 		}
-		if err := sm.createStores(e.Array(name)); err != nil {
+		// Ensure, not Create: a remote shard's server outlives this
+		// client session and may still have the store registered.
+		if err := sm.createStores(e.Array(name), true); err != nil {
 			return err
 		}
 	}
@@ -426,10 +462,10 @@ func (sm *ShardedManager) reopenCatalog() error {
 }
 
 // saveManifests writes the manifest to every live shard root, each
-// atomically and fsynced (atomicWriteFile), so a crash can never leave a
-// torn or empty MANIFEST.json. Degraded shards get no manifest — that is
-// exactly what marks them degraded on the next open, until Repair rewrites
-// one.
+// atomically and fsynced (locally via atomicWriteFile, remotely via the
+// server's identical discipline), so a crash can never leave a torn or
+// empty MANIFEST.json. Degraded shards get no manifest — that is exactly
+// what marks them degraded on the next open, until Repair rewrites one.
 func (sm *ShardedManager) saveManifests() error {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
@@ -440,14 +476,14 @@ func (sm *ShardedManager) saveManifestsLocked() error {
 	if !sm.persist {
 		return nil
 	}
-	for i, dir := range sm.dirs {
+	for i, sd := range sm.shards {
 		if sm.degraded[i].Load() {
 			continue
 		}
 		mf := manifest{
 			Version:    manifestVersion,
 			Format:     sm.format.String(),
-			Shards:     len(sm.dirs),
+			Shards:     len(sm.specs),
 			ShardIndex: i,
 			Placement:  sm.placeName,
 			Replicas:   sm.replicas,
@@ -457,8 +493,8 @@ func (sm *ShardedManager) saveManifestsLocked() error {
 		if err != nil {
 			return err
 		}
-		if err := atomicWriteFile(filepath.Join(dir, manifestName), append(data, '\n'), 0o644); err != nil {
-			return fmt.Errorf("storage: shard %d (%s): write manifest: %w", i, dir, err)
+		if err := sd.WriteManifest(append(data, '\n')); err != nil {
+			return fmt.Errorf("storage: shard %d (%s): write manifest: %w", i, sm.specs[i], err)
 		}
 	}
 	return nil
@@ -468,21 +504,32 @@ func (sm *ShardedManager) saveManifestsLocked() error {
 // holds the blocks whose replica sets include it). On a mid-loop failure
 // the stores already created are unwound — closed and unregistered — so the
 // error leaks no file descriptors and a retry does not trip over "already
-// created" on the shards that had succeeded.
-func (sm *ShardedManager) createStores(arr *prog.Array) error {
+// created" on the shards that had succeeded. A shard whose server became
+// unreachable is degraded (replication permitting) instead of failing the
+// create. With ensure set the per-shard creates are idempotent — the
+// catalog-reopen path, where a remote shard's long-lived server may still
+// have the store registered.
+func (sm *ShardedManager) createStores(arr *prog.Array, ensure bool) error {
 	var created []int
-	for i, m := range sm.shards {
+	for i, sd := range sm.shards {
 		if sm.offline(i) {
 			continue
 		}
-		if err := m.Create(arr); err != nil {
+		create := sd.Create
+		if ensure {
+			create = sd.Ensure
+		}
+		if err := create(arr); err != nil {
 			if sm.healing[i].Load() {
 				continue // best effort on a mid-repair shard; fallback covers it
+			}
+			if errors.Is(err, ErrShardUnavailable) && sm.autoDegrade(i) {
+				continue
 			}
 			for _, j := range created {
 				_ = sm.shards[j].Drop(arr.Name, false)
 			}
-			return fmt.Errorf("storage: shard %d (%s): %w", i, sm.dirs[i], err)
+			return fmt.Errorf("storage: shard %d (%s): %w", i, sm.specs[i], err)
 		}
 		created = append(created, i)
 	}
@@ -494,7 +541,7 @@ func (sm *ShardedManager) createStores(arr *prog.Array) error {
 
 // Create opens the store for an array on every live shard.
 func (sm *ShardedManager) Create(arr *prog.Array) error {
-	return sm.createStores(arr)
+	return sm.createStores(arr, false)
 }
 
 // CreateAll opens stores for every array of a program.
@@ -520,11 +567,39 @@ func (sm *ShardedManager) offline(i int) bool {
 	return sm.degraded[i].Load() && !sm.healing[i].Load()
 }
 
+// autoDegrade takes shard i offline in response to a persistent remote
+// failure (ErrShardUnavailable), if replication still covers every block.
+// It is the automatic twin of DegradeShard: same coverage check, but
+// manifest removal is best effort — the failing server cannot answer a
+// removal either, and a restart against a still-dead server degrades the
+// shard again at open (see docs/operations.md for the recovered-server
+// caveat). Returns whether the shard ended up degraded.
+func (sm *ShardedManager) autoDegrade(i int) bool {
+	sm.degradeMu.Lock()
+	defer sm.degradeMu.Unlock()
+	if sm.degraded[i].Load() {
+		return true
+	}
+	if sm.healing[i].Load() {
+		return false // mid-repair failures surface to the repair, not here
+	}
+	sm.degraded[i].Store(true)
+	if sm.uncoveredPrimary() >= 0 {
+		sm.degraded[i].Store(false)
+		return false
+	}
+	if sm.persist {
+		_ = sm.shards[i].RemoveManifest()
+	}
+	return true
+}
+
 // WriteBlock stores one block on every live shard of its replica set (the
 // primary plus the next Replicas-1 shards in ring order). Degraded shards
-// are skipped — Repair re-mirrors them later; a write with no live replica
-// at all is an error (the open refuses such a store, so this only guards
-// racing DegradeShard calls).
+// are skipped — Repair re-mirrors them later — and a shard whose server
+// became unreachable mid-write is degraded on the spot, replication
+// permitting; a write with no live replica at all is an error (the open
+// refuses such a store, so this only guards racing DegradeShard calls).
 func (sm *ShardedManager) WriteBlock(array string, r, c int64, blk *blas.Matrix) error {
 	sm.healMu.RLock()
 	defer sm.healMu.RUnlock()
@@ -544,7 +619,10 @@ func (sm *ShardedManager) WriteBlock(array string, r, c int64, blk *blas.Matrix)
 			if sm.healing[i].Load() {
 				continue
 			}
-			errs = append(errs, fmt.Errorf("storage: shard %d (%s): %w", i, sm.dirs[i], err))
+			if errors.Is(err, ErrShardUnavailable) && sm.autoDegrade(i) {
+				continue
+			}
+			errs = append(errs, fmt.Errorf("storage: shard %d (%s): %w", i, sm.specs[i], err))
 			continue
 		}
 		wrote++
@@ -560,7 +638,9 @@ func (sm *ShardedManager) WriteBlock(array string, r, c int64, blk *blas.Matrix)
 
 // ReadBlock fetches one block from its primary shard, falling back to the
 // next replicas in ring order when the primary is degraded or fails — each
-// fallback served is counted against the primary as a DegradedRead.
+// fallback served is counted against the primary as a DegradedRead. A
+// shard whose server became unreachable mid-read is degraded on the spot,
+// replication permitting, so later reads skip straight to the replicas.
 // Concurrent reads of blocks on different shards proceed fully in parallel
 // (independent devices); concurrent reads of the same block coalesce inside
 // the shard that serves them.
@@ -580,8 +660,11 @@ func (sm *ShardedManager) ReadBlock(array string, r, c int64) (*blas.Matrix, err
 			}
 			return blk, nil
 		}
+		if errors.Is(err, ErrShardUnavailable) {
+			sm.autoDegrade(i)
+		}
 		if firstErr == nil {
-			firstErr = fmt.Errorf("storage: shard %d (%s): %w", i, sm.dirs[i], err)
+			firstErr = fmt.Errorf("storage: shard %d (%s): %w", i, sm.specs[i], err)
 		}
 	}
 	if firstErr == nil {
@@ -600,28 +683,35 @@ func (sm *ShardedManager) DegradeShard(shard int) error {
 	if shard < 0 || shard >= len(sm.shards) {
 		return fmt.Errorf("storage: shard %d out of range (%d shards)", shard, len(sm.shards))
 	}
+	sm.degradeMu.Lock()
 	if sm.healing[shard].Load() {
+		sm.degradeMu.Unlock()
 		return fmt.Errorf("storage: shard %d is being repaired", shard)
 	}
 	if sm.degraded[shard].Load() {
+		sm.degradeMu.Unlock()
 		return nil
 	}
 	sm.degraded[shard].Store(true)
 	if p := sm.uncoveredPrimary(); p >= 0 {
 		sm.degraded[shard].Store(false)
+		sm.degradeMu.Unlock()
 		return fmt.Errorf("storage: cannot degrade shard %d: blocks with primary shard %d would have no surviving replica (%d-way replication)", shard, p, sm.replicas)
 	}
 	// The on-disk state must commit to "degraded" before the in-memory
 	// state does anything irreversible: if the manifest cannot be removed,
 	// a restart would reopen the shard healthy while this process skipped
 	// its writes — stale data with no error. Refuse and stay healthy
-	// instead.
+	// instead. An unreachable server is the one exception: its manifest
+	// cannot be removed, but it cannot serve stale data either while down.
 	if sm.persist {
-		if err := os.Remove(filepath.Join(sm.dirs[shard], manifestName)); err != nil && !os.IsNotExist(err) {
+		if err := sm.shards[shard].RemoveManifest(); err != nil && !errors.Is(err, ErrShardUnavailable) {
 			sm.degraded[shard].Store(false)
-			return fmt.Errorf("storage: shard %d (%s): remove manifest: %w", shard, sm.dirs[shard], err)
+			sm.degradeMu.Unlock()
+			return fmt.Errorf("storage: shard %d (%s): remove manifest: %w", shard, sm.specs[shard], err)
 		}
 	}
+	sm.degradeMu.Unlock()
 	sm.mu.Lock()
 	names := make([]string, 0, len(sm.arrays))
 	for name := range sm.arrays {
@@ -640,7 +730,10 @@ func (sm *ShardedManager) DegradeShard(shard int) error {
 // stale data), every block whose replica set includes the shard is read
 // from a live copy and rewritten there, the shard's degraded flag and
 // DegradedReads counter are cleared, and — on a persistent store — its
-// manifest is rewritten, so the next open sees a healthy shard.
+// manifest is rewritten, so the next open sees a healthy shard. Repairing
+// a remote shard requires its riotblockd to be reachable again (the server
+// owns the directory); repairing one that is still down fails cleanly and
+// leaves the shard degraded.
 //
 // Repair is safe against live traffic: once the scan starts the shard
 // accepts write-through (healing state; reads still skip it), and each
@@ -676,23 +769,20 @@ func (sm *ShardedManager) Repair(shard int) error {
 		arrays[i] = sm.arrays[name]
 	}
 	sm.mu.Unlock()
-	// The lost shard may be gone directory and all; recreate it, then
-	// start every store from an empty file — anything left on disk
-	// predates the loss and must not survive the re-mirror.
-	if err := os.MkdirAll(sm.dirs[shard], 0o755); err != nil {
-		return fmt.Errorf("storage: repair shard %d (%s): %w", shard, sm.dirs[shard], err)
-	}
+	// The lost shard may be gone directory and all (or its server may have
+	// just come back); ready it, then start every store from an empty file
+	// — anything left on disk predates the loss and must not survive the
+	// re-mirror.
 	target := sm.shards[shard]
+	if err := target.PrepareRepair(); err != nil {
+		return fmt.Errorf("storage: repair shard %d (%s): %w", shard, sm.specs[shard], err)
+	}
 	for _, arr := range arrays {
-		// A previous partial repair may have left a store open on the
-		// fd of the file about to be wiped; close it first.
-		_ = target.Drop(arr.Name, false)
-		path := filepath.Join(sm.dirs[shard], arr.Name+"."+sm.format.String())
-		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("storage: repair shard %d (%s): wipe stale %s: %w", shard, sm.dirs[shard], arr.Name, err)
+		if err := target.WipeStore(arr.Name); err != nil {
+			return fmt.Errorf("storage: repair shard %d (%s): wipe stale %s: %w", shard, sm.specs[shard], arr.Name, err)
 		}
-		if err := target.ensure(arr); err != nil {
-			return fmt.Errorf("storage: repair shard %d (%s): %w", shard, sm.dirs[shard], err)
+		if err := target.Ensure(arr); err != nil {
+			return fmt.Errorf("storage: repair shard %d (%s): %w", shard, sm.specs[shard], err)
 		}
 	}
 	for _, arr := range arrays {
@@ -742,7 +832,7 @@ func (sm *ShardedManager) copyBlock(array string, r, c int64, primary, shard int
 		return nil // never written; nothing to mirror
 	}
 	if err := sm.shards[shard].WriteBlock(array, r, c, blk); err != nil {
-		return fmt.Errorf("storage: repair shard %d (%s): %s[%d,%d]: %w", shard, sm.dirs[shard], array, r, c, err)
+		return fmt.Errorf("storage: repair shard %d (%s): %s[%d,%d]: %w", shard, sm.specs[shard], array, r, c, err)
 	}
 	return nil
 }
@@ -750,15 +840,19 @@ func (sm *ShardedManager) copyBlock(array string, r, c int64, primary, shard int
 // Drop closes and unregisters the array's stores on every live shard and,
 // if the array was cataloged, removes it from the persisted catalog. Shard
 // failures are aggregated — every failed shard is named — rather than
-// reported first-only.
+// reported first-only; a shard whose server became unreachable is degraded
+// instead, replication permitting.
 func (sm *ShardedManager) Drop(array string, deleteFile bool) error {
 	var errs []error
-	for i, m := range sm.shards {
+	for i, sd := range sm.shards {
 		if sm.offline(i) {
 			continue
 		}
-		if err := m.Drop(array, deleteFile); err != nil && !sm.healing[i].Load() {
-			errs = append(errs, fmt.Errorf("storage: shard %d (%s): %w", i, sm.dirs[i], err))
+		if err := sd.Drop(array, deleteFile); err != nil && !sm.healing[i].Load() {
+			if errors.Is(err, ErrShardUnavailable) && sm.autoDegrade(i) {
+				continue
+			}
+			errs = append(errs, fmt.Errorf("storage: shard %d (%s): %w", i, sm.specs[i], err))
 		}
 	}
 	sm.mu.Lock()
@@ -773,11 +867,13 @@ func (sm *ShardedManager) Drop(array string, deleteFile bool) error {
 	return errors.Join(errs...)
 }
 
-// Stats sums the physical I/O counters across shards.
+// Stats sums the physical I/O counters across shards. Remote shards report
+// their server's counters (cumulative since the server started); an
+// unreachable server contributes zeros.
 func (sm *ShardedManager) Stats() Stats {
 	var total Stats
-	for _, m := range sm.shards {
-		st := m.Stats()
+	for _, sd := range sm.shards {
+		st := sd.Stats()
 		total.ReadReqs += st.ReadReqs
 		total.ReadBytes += st.ReadBytes
 		total.WriteReqs += st.WriteReqs
@@ -786,9 +882,11 @@ func (sm *ShardedManager) Stats() Stats {
 	return total
 }
 
-// ShardStats is one shard's physical I/O with its directory, degraded
-// state, and degraded-read count.
+// ShardStats is one shard's physical I/O with its spec (directory or
+// address), degraded state, and degraded-read count.
 type ShardStats struct {
+	// Dir is the shard's spec: its directory path, or its host:port
+	// address for a remote shard.
 	Dir string `json:"dir"`
 	// Degraded marks a shard that is offline: reads it would have served
 	// fall back to replicas, writes skip it, Repair brings it back.
@@ -802,15 +900,18 @@ type ShardStats struct {
 
 // ShardStats snapshots per-shard physical I/O, in shard order — the
 // per-device utilization view a placement function is judged by, plus each
-// shard's degraded state and fallback-read count.
+// shard's degraded state and fallback-read count. Degraded remote shards
+// are not polled (their servers are down); they report zero I/O.
 func (sm *ShardedManager) ShardStats() []ShardStats {
 	out := make([]ShardStats, len(sm.shards))
-	for i, m := range sm.shards {
+	for i, sd := range sm.shards {
 		out[i] = ShardStats{
-			Dir:           sm.dirs[i],
+			Dir:           sm.specs[i],
 			Degraded:      sm.degraded[i].Load(),
 			DegradedReads: sm.degradedReads[i].Load(),
-			Stats:         m.Stats(),
+		}
+		if !sm.degraded[i].Load() {
+			out[i].Stats = sd.Stats()
 		}
 	}
 	return out
@@ -873,20 +974,24 @@ func (sm *ShardedManager) RecordShared(arr *prog.Array, fingerprint string) erro
 }
 
 // SetLatency configures the simulated per-request latency on every shard;
-// each shard sleeps independently, like separate devices.
+// each shard sleeps independently, like separate devices. For remote
+// shards this sets the latency on the server (best effort).
 func (sm *ShardedManager) SetLatency(read, write time.Duration) {
-	for _, m := range sm.shards {
-		m.SetLatency(read, write)
+	for i, sd := range sm.shards {
+		if sm.degraded[i].Load() {
+			continue
+		}
+		sd.SetLatency(read, write)
 	}
 }
 
-// Close closes every shard, aggregating failures so every failed shard is
-// named.
+// Close closes every shard (local stores; remote client connections — the
+// servers stay up), aggregating failures so every failed shard is named.
 func (sm *ShardedManager) Close() error {
 	var errs []error
-	for i, m := range sm.shards {
-		if err := m.Close(); err != nil {
-			errs = append(errs, fmt.Errorf("storage: close shard %d (%s): %w", i, sm.dirs[i], err))
+	for i, sd := range sm.shards {
+		if err := sd.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("storage: close shard %d (%s): %w", i, sm.specs[i], err))
 		}
 	}
 	return errors.Join(errs...)

@@ -175,24 +175,26 @@ type Storage = storage.Manager
 // it interchangeably.
 type StorageBackend = storage.Backend
 
-// ShardedStorage stripes blocks across N shard directories (stand-ins for
-// devices) with deterministic placement, per-shard physical I/O stats, and
-// parallel cross-shard reads. With Replicas = k > 1 each block is mirrored
-// on its primary shard plus the next k-1 in ring order: a lost shard then
-// degrades reads to the surviving replicas (DegradeShard takes one offline
-// explicitly, DegradedReads counts the fallbacks) and Repair re-mirrors it
-// in place. With persistence enabled it catalogs shared arrays in a
-// per-shard-root manifest — written atomically and fsynced — so they
-// survive restarts, and a shard whose manifest is lost or torn reopens
-// degraded instead of failing while replication still covers every block.
+// ShardedStorage stripes blocks across N shards — local directories
+// (stand-ins for devices) and remote riotblockd servers, mixed freely —
+// with deterministic placement, per-shard physical I/O stats, and parallel
+// cross-shard reads. With Replicas = k > 1 each block is mirrored on its
+// primary shard plus the next k-1 in ring order: a lost shard then degrades
+// reads to the surviving replicas (DegradeShard takes one offline
+// explicitly, an unreachable server degrades automatically, DegradedReads
+// counts the fallbacks) and Repair re-mirrors it in place. With persistence
+// enabled it catalogs shared arrays in a per-shard-root manifest — written
+// atomically and fsynced — so they survive restarts, and a shard whose
+// manifest is lost or torn reopens degraded instead of failing while
+// replication still covers every block.
 type ShardedStorage = storage.ShardedManager
 
 // ShardedStorageOptions configures OpenShardedStorage (format, placement,
-// replication, persistence).
+// replication, persistence, remote-client tuning).
 type ShardedStorageOptions = storage.ShardedOptions
 
-// ShardStats is one shard's physical I/O counters with its directory,
-// degraded state, and degraded-read (replica fallback) count.
+// ShardStats is one shard's physical I/O counters with its spec (directory
+// or address), degraded state, and degraded-read (replica fallback) count.
 type ShardStats = storage.ShardStats
 
 // Placement names for sharded storage: hash of array/block coordinates, or
@@ -203,10 +205,41 @@ const (
 )
 
 // OpenShardedStorage opens (or, with persistence, reopens) a sharded store
-// over the given shard directories.
-func OpenShardedStorage(dirs []string, opt ShardedStorageOptions) (*ShardedStorage, error) {
-	return storage.OpenSharded(dirs, opt)
+// over the given shard specs: directory paths, host:port addresses of
+// riotblockd servers, or a mix (see IsRemoteShardSpec). Placement,
+// replication, manifests, and results are identical whichever kind each
+// shard is.
+func OpenShardedStorage(specs []string, opt ShardedStorageOptions) (*ShardedStorage, error) {
+	return storage.OpenSharded(specs, opt)
 }
+
+// RemoteShard is a block-storage backend served by one riotblockd process
+// over the wire protocol in docs/remote-protocol.md: a pooled, pipelining,
+// retrying client that satisfies StorageBackend. Usually used indirectly —
+// OpenShardedStorage builds one per host:port spec — but it works
+// standalone as a single-shard store too.
+type RemoteShard = storage.RemoteShard
+
+// RemoteShardOptions tunes a remote shard client: connection pool size,
+// dial and per-operation timeouts, and the retry/backoff policy for
+// transient failures.
+type RemoteShardOptions = storage.RemoteOptions
+
+// ErrShardUnavailable marks a persistent connection-level failure against
+// a remote shard (connection refused, or retries exhausted); a replicated
+// ShardedStorage responds by degrading the shard instead of failing
+// queries.
+var ErrShardUnavailable = storage.ErrShardUnavailable
+
+// NewRemoteShard creates a client for the riotblockd server at addr
+// (host:port). Connections are lazy: the server may come up later.
+func NewRemoteShard(addr string, opt RemoteShardOptions) *RemoteShard {
+	return storage.NewRemoteShard(addr, opt)
+}
+
+// IsRemoteShardSpec reports whether a shard spec names a riotblockd
+// address (host:port) rather than a local directory.
+var IsRemoteShardSpec = storage.IsRemoteSpec
 
 // ShardDirs derives N shard directory paths under one root (shard-0 …
 // shard-N-1), the default layout when shards are not separate devices.

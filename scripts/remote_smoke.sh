@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# remote_smoke.sh — end-to-end smoke test of the remote-shard fleet:
+#
+#   1. boot 4 riotblockd servers (one shard root each) + riotshared
+#      striping over them with 2-way replication and persistence,
+#   2. run a query end to end and verify it succeeds,
+#   3. kill one riotblockd and verify the same query still succeeds via
+#      degraded reads (degradedReads > 0 in /stats),
+#   4. restart the dead server, repair the shard, verify it is healthy,
+#   5. restart riotshared against the persisted catalog and verify the
+#      shared inputs are served with zero refill writes.
+#
+# CI runs this after the unit suite; it needs only bash, curl, and the go
+# toolchain. Total runtime is a few seconds.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT_BASE=${PORT_BASE:-18441}
+HTTP_PORT=${HTTP_PORT:-18377}
+ADDR="http://127.0.0.1:${HTTP_PORT}"
+WORK=$(mktemp -d)
+BIN="$WORK/bin"
+PIDS=()
+
+cleanup() {
+    # Kill whatever is still running, then the work dir.
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "remote_smoke: FAIL: $*" >&2; exit 1; }
+
+# wait_tcp host port — poll until something is listening (or time out).
+wait_tcp() {
+    for _ in $(seq 1 100); do
+        # The fd opens (and closes) inside the subshell; success means
+        # something accepted the connection.
+        if (exec 3<>"/dev/tcp/$1/$2") 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
+
+echo "== build"
+mkdir -p "$BIN"
+go build -o "$BIN/riotblockd" ./cmd/riotblockd
+go build -o "$BIN/riotshared" ./cmd/riotshared
+
+start_blockd() { # start_blockd <shard index>
+    local i=$1 port=$((PORT_BASE + $1))
+    "$BIN/riotblockd" -addr "127.0.0.1:$port" -root "$WORK/shard-$i" -quiet &
+    BLOCKD_PID[$i]=$!
+    PIDS+=("${BLOCKD_PID[$i]}")
+    wait_tcp 127.0.0.1 "$port" || fail "riotblockd $i did not come up on :$port"
+}
+
+start_shared() {
+    "$BIN/riotshared" serve -addr "127.0.0.1:${HTTP_PORT}" \
+        -shard-addrs "$SHARD_ADDRS" -replicas 2 -persist &
+    SHARED_PID=$!
+    PIDS+=("$SHARED_PID")
+    for _ in $(seq 1 100); do
+        if curl -sf "$ADDR/stats" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    fail "riotshared did not come up on :$HTTP_PORT"
+}
+
+# submit_query — submit addmul, wait for the result, fail unless it is done.
+submit_query() {
+    local id state
+    id=$("$BIN/riotshared" submit -addr "$ADDR" -prog addmul -mem 1000 |
+        sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
+    [ -n "$id" ] || fail "submit returned no query id"
+    state=$(curl -sf "$ADDR/results?id=$id&wait=1" |
+        sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1)
+    [ "$state" = "done" ] || fail "query $id finished in state '$state'"
+    echo "$id"
+}
+
+# stat_field name — extract an integer field from /stats (0 when absent).
+stat_field() {
+    curl -sf "$ADDR/stats" | sed -n "s/.*\"$1\": *\([0-9]*\).*/\1/p" | head -1
+}
+
+echo "== boot 4 riotblockd + riotshared (replicas=2, persist)"
+declare -a BLOCKD_PID
+SHARD_ADDRS=""
+for i in 0 1 2 3; do
+    start_blockd "$i"
+    SHARD_ADDRS="${SHARD_ADDRS:+$SHARD_ADDRS,}127.0.0.1:$((PORT_BASE + i))"
+done
+start_shared
+
+echo "== query end to end on the healthy fleet"
+submit_query >/dev/null
+
+echo "== kill shard 1's server; query must survive on degraded reads"
+kill "${BLOCKD_PID[1]}"
+wait "${BLOCKD_PID[1]}" 2>/dev/null || true
+submit_query >/dev/null
+degraded=$(stat_field degradedReads)
+[ -n "$degraded" ] && [ "$degraded" -gt 0 ] ||
+    fail "expected degradedReads > 0 after killing shard 1, got '${degraded:-0}'"
+curl -sf "$ADDR/stats" | grep -q '"degraded": *true' ||
+    fail "expected a degraded shard in /stats"
+echo "   degradedReads=$degraded"
+
+echo "== restart the server, repair shard 1, verify healthy"
+start_blockd 1
+"$BIN/riotshared" repair -addr "$ADDR" -shard 1 || fail "repair failed"
+curl -sf "$ADDR/stats" | grep -q '"degraded": *true' &&
+    fail "shard still degraded after repair"
+submit_query >/dev/null
+
+echo "== restart riotshared; persisted inputs must skip refills"
+kill "$SHARED_PID"
+wait "$SHARED_PID" 2>/dev/null || true
+start_shared
+submit_query >/dev/null
+skipped=$(stat_field inputFillsSkipped)
+[ -n "$skipped" ] && [ "$skipped" -gt 0 ] ||
+    fail "expected inputFillsSkipped > 0 after restart, got '${skipped:-0}'"
+echo "   inputFillsSkipped=$skipped"
+
+echo "remote_smoke: PASS"
