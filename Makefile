@@ -29,9 +29,11 @@ bench:
 # amplification, healthy vs degraded-fallback read latency) into
 # BENCH_replica.json, and the network block-service round-trip benchmarks
 # (remote read/write vs local dir, pipelined vs serial under device
-# latency) into BENCH_remote.json. CI uploads all five as artifacts and
-# gates on them via bench-check. Each step runs separately so a failing
-# benchmark fails the target.
+# latency) into BENCH_remote.json, and the telemetry overhead benchmark
+# (instrumented vs no-op registry on the pipelined exec path — the two
+# must stay within a few percent of each other) into BENCH_telemetry.json.
+# CI uploads all six as artifacts and gates on them via bench-check. Each
+# step runs separately so a failing benchmark fails the target.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelExec' -benchtime 3x . > .bench-exec.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchmem ./internal/buffer > .bench-pool.txt
@@ -44,7 +46,9 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_replica.json < .bench-replica.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkRemote' -benchtime 20x ./internal/blockd > .bench-remote.txt
 	$(GO) run ./cmd/benchjson -out BENCH_remote.json < .bench-remote.txt
-	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt .bench-shard.txt .bench-replica.txt .bench-remote.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchtime 5x . > .bench-telemetry.txt
+	$(GO) run ./cmd/benchjson -out BENCH_telemetry.json < .bench-telemetry.txt
+	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt .bench-shard.txt .bench-replica.txt .bench-remote.txt .bench-telemetry.txt
 
 # Bench-regression gate: stash the committed baselines, rerun the
 # benchmarks, and fail on a >25% ns/op regression against any baseline.
@@ -52,20 +56,21 @@ bench-json:
 # baseline deliberately.
 bench-check:
 	@mkdir -p .bench-base
-	cp BENCH_pool.json BENCH_cache.json BENCH_shard.json BENCH_replica.json BENCH_remote.json .bench-base/
+	cp BENCH_pool.json BENCH_cache.json BENCH_shard.json BENCH_replica.json BENCH_remote.json BENCH_telemetry.json .bench-base/
 	$(MAKE) bench-json
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_pool.json BENCH_pool.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_cache.json BENCH_cache.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_shard.json BENCH_shard.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_replica.json BENCH_replica.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_remote.json BENCH_remote.json -tolerance 0.25
+	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_telemetry.json BENCH_telemetry.json -tolerance 0.25
 	@rm -rf .bench-base
 
 # Godoc completeness over the public surface: the facade, the storage and
 # server layers, and the network plane. CI fails on any exported
 # identifier without a doc comment.
 doc-check:
-	$(GO) run ./cmd/doccheck . ./internal/storage ./internal/server ./internal/blockd ./internal/blockproto
+	$(GO) run ./cmd/doccheck . ./internal/storage ./internal/server ./internal/blockd ./internal/blockproto ./internal/telemetry
 
 # End-to-end fleet smoke test: 4 riotblockd + riotshared, query, kill a
 # server, repair, restart against the persisted catalog.

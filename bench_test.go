@@ -13,6 +13,7 @@ import (
 	"riotshare/internal/deps"
 	"riotshare/internal/sched"
 	"riotshare/internal/storage"
+	"riotshare/internal/telemetry"
 )
 
 // Each benchmark regenerates one table or figure of the paper's evaluation
@@ -288,6 +289,60 @@ func BenchmarkParallelExec(b *testing.B) {
 				}
 			})
 		}
+		store.Close()
+	}
+}
+
+// BenchmarkTelemetryOverhead runs the pipelined two-multiplication
+// workload over a sharded store twice: "noop" with no registry installed
+// (the shipped default — per-shard latency hooks are one nil check, the
+// engine only fills its Result fields) and "instrumented" with
+// RegisterMetrics wired to a live registry sampling per-shard read/write
+// latencies on every block. The telemetry layer's acceptance bar is the
+// two staying within 2% ns/op of each other; BENCH_telemetry.json
+// records both so bench-check catches an instrumentation cost creeping
+// into the hot path.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	p := riotshare.TwoMM(riotshare.TwoMMConfig{
+		N1: 4, N2: 4, N3: 4, N4: 4,
+		ABlock: riotshare.Dims{Rows: 64, Cols: 64},
+		BBlock: riotshare.Dims{Rows: 64, Cols: 64},
+		DBlock: riotshare.Dims{Rows: 64, Cols: 64},
+	})
+	res, err := riotshare.Optimize(p, riotshare.Options{BindParams: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := res.Best
+	model := riotshare.PaperDiskModel()
+	for _, mode := range []struct {
+		name       string
+		instrument bool
+	}{
+		{"noop", false},
+		{"instrumented", true},
+	} {
+		store, err := storage.OpenSharded([]string{b.TempDir(), b.TempDir()}, storage.ShardedOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mode.instrument {
+			store.RegisterMetrics(telemetry.New())
+		}
+		if err := store.CreateAll(p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.FillInputs(p, store, 1); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := riotshare.ExecuteOptions(pl, store, model, 0,
+					riotshare.ExecOptions{Workers: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		store.Close()
 	}
 }

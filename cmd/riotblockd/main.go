@@ -16,6 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,11 +35,12 @@ func main() {
 
 func run() error {
 	var (
-		addr   = flag.String("addr", ":8441", "listen address")
-		root   = flag.String("root", "", "shard root directory this server exposes (required)")
-		format = flag.String("format", "daf", "block format: daf or lab-tree (must match the front-end's -format)")
-		serial = flag.Bool("serial-device", false, "serve one simulated-latency request at a time (device modeling experiments)")
-		quiet  = flag.Bool("quiet", false, "suppress per-connection logging")
+		addr    = flag.String("addr", ":8441", "listen address")
+		root    = flag.String("root", "", "shard root directory this server exposes (required)")
+		format  = flag.String("format", "daf", "block format: daf or lab-tree (must match the front-end's -format)")
+		serial  = flag.Bool("serial-device", false, "serve one simulated-latency request at a time (device modeling experiments)")
+		quiet   = flag.Bool("quiet", false, "suppress per-connection logging")
+		metrics = flag.String("metrics-addr", "", "optional HTTP sidecar address serving GET /metrics and /healthz (e.g. :9441)")
 	)
 	flag.Parse()
 	if *root == "" {
@@ -61,6 +64,19 @@ func run() error {
 	}
 	if err := srv.ListenAndServe(*addr); err != nil {
 		return err
+	}
+	if *metrics != "" {
+		// The sidecar is observability-only: a bind failure is fatal (a
+		// silent half-deployment is worse), but serve errors after that
+		// only lose metrics, never block traffic.
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		go func() { _ = http.Serve(mln, srv.MetricsHandler()) }()
+		defer mln.Close()
+		fmt.Printf("riotblockd: metrics on http://%s/metrics\n", mln.Addr())
 	}
 	fmt.Printf("riotblockd: serving shard root %s on %s (format %s)\n", *root, srv.Addr(), f)
 	sig := make(chan os.Signal, 1)

@@ -20,6 +20,8 @@
 //	riotshared status  -addr http://localhost:8377 -id q1
 //	riotshared results -addr http://localhost:8377 -id q1 -wait
 //	riotshared stats   -addr http://localhost:8377 -tenant acme
+//	riotshared stats   -addr http://localhost:8377 -watch 2s   # live delta view
+//	riotshared trace   -addr http://localhost:8377 q1          # span-tree breakdown
 //	riotshared repair  -addr http://localhost:8377 -shard 1
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
@@ -40,10 +42,12 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"riotshare/internal/govern"
 	"riotshare/internal/server"
 	"riotshare/internal/storage"
+	"riotshare/internal/telemetry"
 )
 
 func main() {
@@ -62,10 +66,10 @@ func run() error {
 	switch sub {
 	case "serve":
 		return serve(fs, os.Args[2:])
-	case "submit", "status", "results", "stats", "repair":
+	case "submit", "status", "results", "stats", "trace", "repair":
 		return client(sub, fs, os.Args[2:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (serve, submit, status, results, stats, repair)", sub)
+		return fmt.Errorf("unknown subcommand %q (serve, submit, status, results, stats, trace, repair)", sub)
 	}
 }
 
@@ -95,6 +99,10 @@ func serve(fs *flag.FlagSet, args []string) error {
 		tenantConc = fs.String("tenant-concurrent", "", "per-tenant concurrency caps, e.g. acme=2")
 		tenantMem  = fs.String("tenant-mem-mb", "", "per-tenant plan peak memory caps, e.g. acme=512 (MB)")
 		noAffinity = fs.Bool("no-affinity", false, "disable shared-input affinity batching in admission")
+
+		slowMs   = fs.Int64("slow-query-ms", 0, "log a JSON span breakdown to stderr for queries slower than this (0 = off)")
+		pprofOn  = fs.Bool("pprof", false, "register net/http/pprof handlers under /debug/pprof/")
+		traceCap = fs.Int("trace-cap", 0, "completed query traces retained for GET /trace (0 = default 256)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -158,6 +166,9 @@ func serve(fs *flag.FlagSet, args []string) error {
 		PrefetchDepth:        *prefetch,
 		Seed:                 *seed,
 		FullSearch:           *full,
+		SlowQueryMs:          *slowMs,
+		EnablePprof:          *pprofOn,
+		TraceCapacity:        *traceCap,
 	})
 	if err == http.ErrServerClosed {
 		err = nil
@@ -242,12 +253,16 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 		plan     = fs.Int("plan", -1, "force plan index (-1 = cheapest fitting plan)")
 		workers  = fs.Int("workers", 0, "kernel workers for this query (0 = server default)")
 		tenant   = fs.String("tenant", "", "tenant label (submit: governor fairness + pool quotas; stats: filter)")
-		id       = fs.String("id", "", "query id (status, results)")
+		id       = fs.String("id", "", "query id (status, results, trace)")
 		wait     = fs.Bool("wait", false, "block until the query finishes (results)")
 		shard    = fs.Int("shard", -1, "shard index to re-mirror from its replicas (repair)")
+		watch    = fs.Duration("watch", 0, "poll /stats at this interval and render counter deltas (stats)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *id == "" && fs.NArg() > 0 {
+		*id = fs.Arg(0) // `riotshared trace q1` style positional id
 	}
 	switch sub {
 	case "submit":
@@ -286,11 +301,22 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 		}
 		return do(http.MethodGet, url, nil)
 	case "stats":
+		if *watch > 0 {
+			if *tenant != "" {
+				return fmt.Errorf("-watch renders the full service view; drop -tenant")
+			}
+			return watchStats(*addr, *watch)
+		}
 		u := *addr + "/stats"
 		if *tenant != "" {
 			u += "?tenant=" + url.QueryEscape(*tenant)
 		}
 		return do(http.MethodGet, u, nil)
+	case "trace":
+		if *id == "" {
+			return fmt.Errorf("query id required: riotshared trace q1 (or -id q1)")
+		}
+		return printTrace(*addr, *id)
 	case "repair":
 		if *shard < 0 {
 			return fmt.Errorf("-shard required")
@@ -300,8 +326,97 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 	return nil
 }
 
-// do performs one API call and prints the JSON response.
+// watchStats polls /stats and renders one delta line per tick: running
+// and queued gauges as-is, counters as per-interval deltas, rates and
+// percentiles from the current snapshot. Exits on SIGINT/SIGTERM.
+func watchStats(addr string, interval time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("%-8s %4s %6s %5s %5s %7s %7s %7s %8s %7s %7s\n",
+		"time", "run", "queued", "Δsub", "Δfin", "Δreads", "ΔrdMB", "ΔwrMB", "poolHit%", "plan%", "p95ms")
+	var prev server.Stats
+	have := false
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		st, err := fetchStats(addr + "/stats")
+		if err != nil {
+			return err
+		}
+		if have {
+			degraded := ""
+			if st.DegradedReads > prev.DegradedReads {
+				degraded = fmt.Sprintf("  DEGRADED +%d", st.DegradedReads-prev.DegradedReads)
+			}
+			fmt.Printf("%-8s %4d %6d %5d %5d %7d %7.1f %7.1f %8.1f %7.1f %7.2f%s\n",
+				time.Now().Format("15:04:05"),
+				st.Running, st.Queued,
+				st.Submitted-prev.Submitted, st.Finished-prev.Finished,
+				st.Store.ReadReqs-prev.Store.ReadReqs,
+				float64(st.Store.ReadBytes-prev.Store.ReadBytes)/(1<<20),
+				float64(st.Store.WriteBytes-prev.Store.WriteBytes)/(1<<20),
+				st.Pool.HitRate()*100, st.PlanCacheHitRate*100, st.PlanningP95Ms,
+				degraded)
+		}
+		prev, have = st, true
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// fetchStats decodes one /stats snapshot.
+func fetchStats(url string) (server.Stats, error) {
+	var st server.Stats
+	resp, err := http.Get(url)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// printTrace fetches one query's completed span tree and renders it as
+// an indented duration breakdown.
+func printTrace(addr, id string) error {
+	resp, err := http.Get(addr + "/trace?id=" + url.QueryEscape(id))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("trace %s: %s", id, e.Error)
+		}
+		return fmt.Errorf("trace %s: HTTP %d", id, resp.StatusCode)
+	}
+	var tr telemetry.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return err
+	}
+	fmt.Printf("trace %s (%v)\n", tr.QueryID, tr.Root.Duration())
+	var b strings.Builder
+	tr.Root.Render(&b, 0)
+	fmt.Print(b.String())
+	return nil
+}
+
+// do performs one API call and prints the JSON response, asking the
+// server for indented output since it goes to a human terminal.
 func do(method, url string, body []byte) error {
+	if strings.Contains(url, "?") {
+		url += "&pretty=1"
+	} else {
+		url += "?pretty=1"
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)

@@ -30,6 +30,7 @@ import (
 	"riotshare/internal/blockproto"
 	"riotshare/internal/prog"
 	"riotshare/internal/storage"
+	"riotshare/internal/telemetry"
 )
 
 // Options configures a Server beyond its root directory.
@@ -52,6 +53,13 @@ type Server struct {
 	opt  Options
 	mgr  *storage.Manager
 
+	// Telemetry (built once in New, read-only afterwards): per-op
+	// latency histograms and non-OK counters keyed by opcode, plus the
+	// registry the -metrics-addr sidecar scrapes.
+	reg    *telemetry.Registry
+	opLat  map[byte]*telemetry.Histogram
+	opErrs map[byte]*telemetry.Counter
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -67,7 +75,9 @@ func New(root string, opt Options) (*Server, error) {
 		return nil, err
 	}
 	mgr.SerialDevice = opt.SerialDevice
-	return &Server{root: root, opt: opt, mgr: mgr, conns: make(map[net.Conn]struct{})}, nil
+	s := &Server{root: root, opt: opt, mgr: mgr, conns: make(map[net.Conn]struct{})}
+	s.initMetrics()
+	return s, nil
 }
 
 // ListenAndServe listens on addr (TCP) and serves until Close. It returns
@@ -190,7 +200,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		t0 := time.Now()
 		status, resp := s.handle(version, op, payload)
+		s.observeOp(op, status, time.Since(t0))
 		if err := blockproto.WriteFrame(conn, status, resp); err != nil {
 			if !errors.Is(err, net.ErrClosed) && !isConnReset(err) {
 				s.logf("blockd: %s: write: %v", conn.RemoteAddr(), err)

@@ -31,6 +31,24 @@ type Result struct {
 	CPUTime time.Duration
 	// PeakMemoryBytes is the maximum buffered logical working set.
 	PeakMemoryBytes int64
+	// StageTimes maps statement name → cumulative kernel wall time for
+	// that pipeline stage (parallel runs sum across workers, so stage
+	// times can exceed wall time). Nil until the first kernel runs.
+	StageTimes map[string]time.Duration
+	// PrefetchIssued counts prefetchable block reads the async
+	// prefetcher issued ahead of use; PrefetchInline counts the ones a
+	// consumer reached first and claimed inline (prefetch arrived too
+	// late). Both are zero for sequential runs; PrefetchInline stays
+	// zero in pool mode, where the pool coalesces the in-flight read.
+	PrefetchIssued, PrefetchInline int64
+}
+
+// addStageTime accumulates one kernel's wall time under its stage name.
+func (r *Result) addStageTime(stage string, d time.Duration) {
+	if r.StageTimes == nil {
+		r.StageTimes = make(map[string]time.Duration)
+	}
+	r.StageTimes[stage] += d
 }
 
 // Engine executes timelines against a storage backend (a single-directory
@@ -187,7 +205,9 @@ func (e *Engine) Run(tl *codegen.Timeline) (Result, error) {
 		if err := RunKernel(st, kernelIn, accRead, outBlk); err != nil {
 			return res, fmt.Errorf("exec: %s%v: %w", st.Name, ev.X, err)
 		}
-		res.CPUTime += time.Since(t0)
+		kd := time.Since(t0)
+		res.CPUTime += kd
+		res.addStageTime(st.Name, kd)
 
 		// Write-back.
 		if writeAcc != nil && writeAction == codegen.DoIO {

@@ -468,6 +468,21 @@ type runState struct {
 	once    sync.Once
 
 	cpuNanos atomic.Int64
+
+	// stageMu guards stageNanos, the per-statement kernel time sums
+	// that become Result.StageTimes. pfIssued/pfInline count prefetch
+	// reads issued ahead of use vs. claimed inline by a consumer.
+	stageMu    sync.Mutex
+	stageNanos map[string]int64
+	pfIssued   atomic.Int64
+	pfInline   atomic.Int64
+}
+
+// addStageTime accumulates one kernel's wall time under its stage.
+func (rs *runState) addStageTime(stage string, d time.Duration) {
+	rs.stageMu.Lock()
+	rs.stageNanos[stage] += int64(d)
+	rs.stageMu.Unlock()
 }
 
 func (rs *runState) fail(err error) {
@@ -504,11 +519,12 @@ func (e *Engine) runParallel(tl *codegen.Timeline, opt Options) (Result, error) 
 
 	rs := &runState{
 		e: e, tl: tl, pp: pp,
-		buf:    make(map[string]*blas.Matrix),
-		ivPins: newPinSet(e.Pool),
-		cache:  make(map[string]*pfEntry, len(pp.prefetch)),
-		slots:  make(chan struct{}, max(depth, 1)),
-		cancel: make(chan struct{}),
+		buf:        make(map[string]*blas.Matrix),
+		ivPins:     newPinSet(e.Pool),
+		cache:      make(map[string]*pfEntry, len(pp.prefetch)),
+		slots:      make(chan struct{}, max(depth, 1)),
+		cancel:     make(chan struct{}),
+		stageNanos: make(map[string]int64),
 	}
 	defer rs.ivPins.releaseAll()
 	for _, req := range pp.prefetch {
@@ -570,6 +586,11 @@ func (e *Engine) runParallel(tl *codegen.Timeline, opt Options) (Result, error) 
 		return res, rs.failErr
 	}
 	res.CPUTime = time.Duration(rs.cpuNanos.Load())
+	for stage, ns := range rs.stageNanos {
+		res.addStageTime(stage, time.Duration(ns))
+	}
+	res.PrefetchIssued = rs.pfIssued.Load()
+	res.PrefetchInline = rs.pfInline.Load()
 	res.SimulatedIOSec = e.Model.Time(res.ReadBytes, res.WriteBytes, res.ReadReqs, res.WriteReqs)
 	return res, nil
 }
@@ -596,6 +617,7 @@ func (rs *runState) prefetcher() {
 		en.issued = true
 		en.slotHeld = true
 		rs.cacheMu.Unlock()
+		rs.pfIssued.Add(1)
 		rs.pfWG.Add(1)
 		go func(req pfReq, en *pfEntry) {
 			defer rs.pfWG.Done()
@@ -673,6 +695,7 @@ func (rs *runState) readBlock(i int, array string, r, c int64, key string) (*bla
 	if !en.issued {
 		en.issued = true
 		claimed = true
+		rs.pfInline.Add(1)
 	}
 	en.refs--
 	last := en.refs == 0
@@ -793,7 +816,9 @@ func (rs *runState) execEvent(i int) error {
 	if err := RunKernel(ev.St, kernelIn, accRead, outBlk); err != nil {
 		return fmt.Errorf("exec: %s%v: %w", ev.St.Name, ev.X, err)
 	}
-	rs.cpuNanos.Add(int64(time.Since(t0)))
+	kd := time.Since(t0)
+	rs.cpuNanos.Add(int64(kd))
+	rs.addStageTime(ev.St.Name, kd)
 
 	if writeBA != nil && writeBA.Action == codegen.DoIO {
 		pinned, err := rs.e.writeThrough(writeBA.Array, writeBA.R, writeBA.C, outBlk)

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"os"
+	"reflect"
 	"testing"
 	"time"
 
@@ -134,9 +135,13 @@ func runPlanOn(t *testing.T, p *prog.Program, pl *core.EvaluatedPlan, m storage.
 }
 
 // comparable strips the fields that legitimately vary between runs
-// (CPUTime is measured wall time inside kernels).
+// (CPUTime and StageTimes are measured wall time inside kernels;
+// prefetch counts depend on scheduling and worker count).
 func comparable(r Result) Result {
 	r.CPUTime = 0
+	r.StageTimes = nil
+	r.PrefetchIssued = 0
+	r.PrefetchInline = 0
 	return r
 }
 
@@ -145,7 +150,7 @@ func comparable(r Result) Result {
 // execution, for any worker count.
 func assertIdentical(t *testing.T, label string, workers int, seq, par Result, seqOut, parOut map[string]*blas.Matrix) {
 	t.Helper()
-	if comparable(seq) != comparable(par) {
+	if !reflect.DeepEqual(comparable(seq), comparable(par)) {
 		t.Errorf("plan %s workers=%d: Result diverged\nseq: %+v\npar: %+v", label, workers, comparable(seq), comparable(par))
 	}
 	for name, want := range seqOut {
@@ -452,7 +457,7 @@ func TestAccountRunMatchesSequential(t *testing.T) {
 			t.Fatalf("plan %s: accountRun: %v", pl.Label, err)
 		}
 		accounted.SimulatedIOSec = eng.Model.Time(accounted.ReadBytes, accounted.WriteBytes, accounted.ReadReqs, accounted.WriteReqs)
-		if comparable(measured) != comparable(accounted) {
+		if !reflect.DeepEqual(comparable(measured), comparable(accounted)) {
 			t.Errorf("plan %s: accounting diverged\nmeasured:  %+v\naccounted: %+v",
 				pl.Label, comparable(measured), comparable(accounted))
 		}

@@ -62,6 +62,11 @@ type Config struct {
 	// MaxAffinitySkips bounds how many times affinity may bypass a
 	// tenant's queue head before the head is forced (<= 0 = 8).
 	MaxAffinitySkips int
+	// OnGrant, when set, is called once per granted admission with the
+	// tenant label and the queue wait (Admit call to grant), outside
+	// the governor's locks. The server uses it to feed admission-wait
+	// telemetry histograms.
+	OnGrant func(tenant string, wait time.Duration)
 }
 
 // deficitCap bounds accumulated round-robin credit (in units of the
@@ -110,6 +115,7 @@ type Governor struct {
 	cfg      map[string]TenantConfig
 	affinity func() func(inputs []string) int64
 	maxSkips int
+	onGrant  func(tenant string, wait time.Duration)
 
 	mu      sync.Mutex
 	running int
@@ -186,6 +192,7 @@ func New(cfg Config) *Governor {
 		cfg:      cfg.Tenants,
 		affinity: cfg.Affinity,
 		maxSkips: skips,
+		onGrant:  cfg.OnGrant,
 		queues:   make(map[string]*tenantQueue),
 		waits:    make(map[string]*waitWindow),
 		closed:   make(chan struct{}),
@@ -521,6 +528,9 @@ func (g *Governor) recordWait(tenant string, d time.Duration) {
 	ww.lastSeq = g.grantSeq
 	ww.record(d)
 	g.mu.Unlock()
+	if g.onGrant != nil {
+		g.onGrant(tenant, d)
+	}
 }
 
 // WaitQuantiles summarizes one tenant's admission-wait distribution over

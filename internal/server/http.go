@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 )
@@ -19,14 +20,24 @@ import (
 //	                        409 while the query is still queued/running otherwise
 //	GET  /queries         → every query, submission order
 //	GET  /stats           → Stats (pool hit rates, physical I/O, admission,
-//	                        plan cache, per-tenant breakdown incl. eviction
+//	                        plan cache incl. hit rate and planning latency
+//	                        percentiles, per-tenant breakdown incl. eviction
 //	                        write-back errors; on a replicated sharded store
 //	                        also per-shard degraded flags and degraded-read
 //	                        counters); ?tenant=name returns just that
 //	                        tenant's TenantStats
+//	GET  /metrics         → Prometheus text exposition of the telemetry
+//	                        registry (admission, planning, pool, per-shard
+//	                        storage, remote clients, exec stages)
+//	GET  /trace?id=q1     → the query's completed span tree (bounded ring of
+//	                        recent traces); without ?id, the retained IDs
 //	POST /repair?shard=1  → re-mirror a degraded shard from its replicas
 //	                        (replicated stores only); 200 on success
 //	GET  /healthz         → 200 ok
+//
+// JSON responses are compact by default; pass ?pretty=1 for indented
+// output. With Config.EnablePprof the net/http/pprof handlers are
+// registered under /debug/pprof/.
 //
 // Submissions carry an optional "tenant" label; the resource governor
 // schedules tenants fairly (weighted round-robin with per-tenant quotas)
@@ -38,51 +49,69 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/results", s.handleResults)
 	mux.HandleFunc("/queries", s.handleQueries)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/repair", s.handleRepair)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// wantPretty reports whether the request asked for indented JSON.
+func wantPretty(r *http.Request) bool {
+	v := r.URL.Query().Get("pretty")
+	return v != "" && v != "0"
+}
+
+func writeJSON(w http.ResponseWriter, r *http.Request, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
+	if wantPretty(r) {
+		enc.SetIndent("", "  ")
+	}
 	enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func writeErr(w http.ResponseWriter, r *http.Request, code int, err error) {
+	writeJSON(w, r, code, map[string]string{"error": err.Error()})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		writeErr(w, r, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	id, err := s.Submit(req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
+	writeJSON(w, r, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Status(r.URL.Query().Get("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, r, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, r, http.StatusOK, st)
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -90,26 +119,26 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") != "" {
 		st, err := s.Wait(id)
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			writeErr(w, r, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, st)
+		writeJSON(w, r, http.StatusOK, st)
 		return
 	}
 	st, err := s.Status(id)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, r, http.StatusNotFound, err)
 		return
 	}
 	if st.State != StateDone && st.State != StateFailed {
-		writeJSON(w, http.StatusConflict, st)
+		writeJSON(w, r, http.StatusConflict, st)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, r, http.StatusOK, st)
 }
 
 func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.List())
+	writeJSON(w, r, http.StatusOK, s.List())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -117,30 +146,54 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if tenant, ok := r.URL.Query()["tenant"]; ok && len(tenant) > 0 {
 		ts, found := st.Tenants[tenant[0]]
 		if !found {
-			writeErr(w, http.StatusNotFound, fmt.Errorf("no activity for tenant %q", tenant[0]))
+			writeErr(w, r, http.StatusNotFound, fmt.Errorf("no activity for tenant %q", tenant[0]))
 			return
 		}
-		writeJSON(w, http.StatusOK, ts)
+		writeJSON(w, r, http.StatusOK, ts)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, r, http.StatusOK, st)
+}
+
+// handleMetrics serves the telemetry registry in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleTrace serves one completed query's span tree by ID, or the
+// list of retained trace IDs without ?id.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeJSON(w, r, http.StatusOK, map[string]any{"traces": s.tracer.IDs()})
+		return
+	}
+	tr, ok := s.tracer.Get(id)
+	if !ok {
+		writeErr(w, r, http.StatusNotFound, fmt.Errorf("no trace for query %q (still running, or evicted from the ring)", id))
+		return
+	}
+	writeJSON(w, r, http.StatusOK, tr)
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		writeErr(w, r, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("repair needs ?shard=N: %w", err))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("repair needs ?shard=N: %w", err))
 		return
 	}
 	if err := s.RepairShard(shard); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeErr(w, r, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"repaired": shard})
+	writeJSON(w, r, http.StatusOK, map[string]any{"repaired": shard})
 }
 
 // ListenAndServe runs the HTTP API on addr until ctx is canceled, then

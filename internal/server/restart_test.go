@@ -108,9 +108,8 @@ func TestServerRestartPersistedInputs(t *testing.T) {
 		t.Fatal("missing results")
 	}
 	r1, r2 := *first.Result, *second.Result
-	r1.CPUTime, r2.CPUTime = 0, 0
-	if r1 != r2 {
-		t.Errorf("Result diverged across restart:\nfresh:  %+v\nreopen: %+v", r1, r2)
+	if !sameResult(r1, r2) {
+		t.Errorf("Result diverged across restart:\nfresh:  %+v\nreopen: %+v", stripTimes(r1), stripTimes(r2))
 	}
 	if len(first.Outputs) == 0 || len(first.Outputs) != len(second.Outputs) {
 		t.Fatalf("outputs: fresh %d vs reopen %d", len(first.Outputs), len(second.Outputs))
@@ -249,9 +248,8 @@ func TestServerRestartDegradedShardAndRepair(t *testing.T) {
 		t.Fatal("missing results")
 	}
 	r1, r2 := *first.Result, *second.Result
-	r1.CPUTime, r2.CPUTime = 0, 0
-	if r1 != r2 {
-		t.Errorf("Result diverged across the degraded restart:\nfresh:    %+v\ndegraded: %+v", r1, r2)
+	if !sameResult(r1, r2) {
+		t.Errorf("Result diverged across the degraded restart:\nfresh:    %+v\ndegraded: %+v", stripTimes(r1), stripTimes(r2))
 	}
 	if len(first.Outputs) == 0 || len(first.Outputs) != len(second.Outputs) {
 		t.Fatalf("outputs: fresh %d vs degraded %d", len(first.Outputs), len(second.Outputs))
@@ -300,9 +298,8 @@ func TestServerRestartDegradedShardAndRepair(t *testing.T) {
 		}
 	}
 	r3 := *third.Result
-	r3.CPUTime = 0
-	if r1 != r3 {
-		t.Errorf("Result diverged after repair:\nfresh:  %+v\nhealed: %+v", r1, r3)
+	if !sameResult(r1, r3) {
+		t.Errorf("Result diverged after repair:\nfresh:  %+v\nhealed: %+v", stripTimes(r1), stripTimes(r3))
 	}
 	for i := range first.Outputs {
 		if first.Outputs[i].Sum != third.Outputs[i].Sum {

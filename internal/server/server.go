@@ -22,11 +22,15 @@ package server
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math/rand"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +44,7 @@ import (
 	"riotshare/internal/govern"
 	"riotshare/internal/prog"
 	"riotshare/internal/storage"
+	"riotshare/internal/telemetry"
 )
 
 // Config sizes the service.
@@ -124,6 +129,17 @@ type Config struct {
 	// Programs registers extra named programs next to the built-in
 	// benchmark set (addmul, twomm-a, twomm-b, linreg).
 	Programs map[string]func() *prog.Program
+	// SlowQueryMs, when > 0, logs a structured span breakdown (one JSON
+	// line) for every query whose wall time meets the threshold.
+	SlowQueryMs int64
+	// SlowQueryLog receives slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
+	// EnablePprof registers net/http/pprof profiling handlers under
+	// /debug/pprof/ on the HTTP API.
+	EnablePprof bool
+	// TraceCapacity bounds the ring of completed query traces served by
+	// GET /trace (0 = default 256).
+	TraceCapacity int
 }
 
 // Request is one program submission.
@@ -256,6 +272,13 @@ type Stats struct {
 
 	PlanCacheHits   int64 `json:"planCacheHits"`
 	PlanCacheMisses int64 `json:"planCacheMisses"`
+	// PlanCacheHitRate is hits / (hits + misses), 0 while idle.
+	PlanCacheHitRate float64 `json:"planCacheHitRate"`
+	// Planning latency percentiles in milliseconds over every plans()
+	// call (cache hits and misses alike), from the telemetry histogram.
+	PlanningP50Ms float64 `json:"planningP50Ms"`
+	PlanningP95Ms float64 `json:"planningP95Ms"`
+	PlanningP99Ms float64 `json:"planningP99Ms"`
 
 	// Tenants breaks the service down per tenant label (the anonymous
 	// tenant is ""). Nil until a query was submitted.
@@ -295,6 +318,18 @@ type Server struct {
 
 	inputMu sync.Mutex
 	inputs  map[string]*inputState
+
+	// reg and tracer are the service's telemetry: a metrics registry
+	// scraped by GET /metrics and a bounded ring of completed query
+	// span trees served by GET /trace. Both are always live; the
+	// histogram handles below are registered once at startup so the
+	// query path never takes the registry lock.
+	reg        *telemetry.Registry
+	tracer     *telemetry.Tracer
+	mPlanning  *telemetry.Histogram
+	mSlowTotal *telemetry.Counter
+	slowMu     sync.Mutex
+	slowLog    io.Writer
 }
 
 // tenantCounters aggregates one tenant's submission lifecycle on the
@@ -367,10 +402,16 @@ func New(cfg Config) (*Server, error) {
 		m.Close()
 		return nil, err
 	}
+	reg := telemetry.New()
 	gcfg := govern.Config{
 		MaxConcurrent:  cfg.MaxConcurrent,
 		GlobalMemBytes: cfg.GlobalMemBytes,
 		Tenants:        cfg.Tenants,
+		OnGrant: func(tenant string, wait time.Duration) {
+			reg.Histogram("riotshare_admission_wait_seconds",
+				"Admission queue wait per tenant (Admit call to grant).",
+				nil, telemetry.L("tenant", tenant)).ObserveDuration(wait)
+		},
 	}
 	if !cfg.NoAffinity {
 		// One pool snapshot per dispatch round scores every queued
@@ -386,7 +427,11 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
-	return &Server{
+	slowLog := cfg.SlowQueryLog
+	if slowLog == nil {
+		slowLog = os.Stderr
+	}
+	s := &Server{
 		cfg:       cfg,
 		store:     m,
 		sharded:   sharded,
@@ -396,8 +441,57 @@ func New(cfg Config) (*Server, error) {
 		gov:       govern.New(gcfg),
 		tenants:   make(map[string]*tenantCounters),
 		inputs:    make(map[string]*inputState),
-	}, nil
+		reg:       reg,
+		tracer:    telemetry.NewTracer(cfg.TraceCapacity),
+		slowLog:   slowLog,
+	}
+	s.mPlanning = reg.Histogram("riotshare_planning_seconds",
+		"Latency of plan-cache lookup or planning per query.", nil)
+	s.mSlowTotal = reg.Counter("riotshare_slow_queries_total",
+		"Queries whose wall time met the slow-query threshold.")
+	pool.RegisterMetrics(reg)
+	if sharded != nil {
+		sharded.RegisterMetrics(reg)
+	}
+	s.registerCollectors()
+	return s, nil
 }
+
+// registerCollectors wires the scrape-time metric sources that sample
+// existing stats snapshots: service lifecycle counters, plan cache,
+// shared-input persistence, governor occupancy, and aggregate store
+// I/O (per-shard detail comes from the sharded store's own collector).
+func (s *Server) registerCollectors() {
+	s.reg.Collect(func(e *telemetry.Emit) {
+		running, queued := s.gov.Load()
+		e.Gauge("riotshare_queries_running", "Queries currently executing.", float64(running))
+		e.Gauge("riotshare_queries_queued", "Queries waiting for admission.", float64(queued))
+		s.mu.Lock()
+		submitted, finished := s.submitted, s.finished
+		s.mu.Unlock()
+		e.Counter("riotshare_queries_submitted_total", "Queries accepted by Submit.", float64(submitted))
+		e.Counter("riotshare_queries_finished_total", "Queries finished (done or failed).", float64(finished))
+		s.planMu.Lock()
+		hits, misses := s.planHits, s.planMisses
+		s.planMu.Unlock()
+		e.Counter("riotshare_plan_cache_hits_total", "Plan cache hits.", float64(hits))
+		e.Counter("riotshare_plan_cache_misses_total", "Plan cache misses (plans computed).", float64(misses))
+		e.Counter("riotshare_input_fills_total", "Shared inputs synthesized and written.", float64(s.inputFills.Load()))
+		e.Counter("riotshare_input_fills_skipped_total", "Shared inputs served from the persisted catalog.", float64(s.inputFillsSkipped.Load()))
+		st := s.store.Stats()
+		e.Counter("riotshare_store_read_reqs_total", "Physical block reads, all shards.", float64(st.ReadReqs))
+		e.Counter("riotshare_store_read_bytes_total", "Bytes read, all shards.", float64(st.ReadBytes))
+		e.Counter("riotshare_store_write_reqs_total", "Physical block writes, all shards.", float64(st.WriteReqs))
+		e.Counter("riotshare_store_write_bytes_total", "Bytes written, all shards.", float64(st.WriteBytes))
+	})
+}
+
+// Metrics exposes the service's telemetry registry (scraped by GET
+// /metrics; components and tests may register further sources).
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// Tracer exposes the ring of completed query traces (GET /trace).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Pool exposes the shared buffer pool (read-mostly: stats, flush).
 func (s *Server) Pool() *buffer.Pool { return s.pool }
@@ -514,9 +608,10 @@ func (s *Server) extraProgramNames() string {
 	return out
 }
 
-// plans optimizes through the plan cache. The cache key ignores per-query
-// memory caps: plan selection against a cap happens on the cached table.
-func (s *Server) plans(req Request, p *prog.Program, subsets [][]string) (*core.Result, error) {
+// plans optimizes through the plan cache, reporting whether the table
+// came from the cache. The cache key ignores per-query memory caps:
+// plan selection against a cap happens on the cached table.
+func (s *Server) plans(req Request, p *prog.Program, subsets [][]string) (*core.Result, bool, error) {
 	key := "prog:" + req.Program
 	if req.Spec != nil {
 		key = req.Spec.cacheKey()
@@ -526,7 +621,7 @@ func (s *Server) plans(req Request, p *prog.Program, subsets [][]string) (*core.
 		s.planHits++
 		s.planMu.Unlock()
 		<-e.ready
-		return e.res, e.err
+		return e.res, true, e.err
 	}
 	e := &planEntry{ready: make(chan struct{})}
 	s.planCache[key] = e
@@ -539,7 +634,7 @@ func (s *Server) plans(req Request, p *prog.Program, subsets [][]string) (*core.
 		e.res, e.err = core.Optimize(p, core.Options{BindParams: true})
 	}
 	close(e.ready)
-	return e.res, e.err
+	return e.res, false, e.err
 }
 
 // selectPlan picks the forced plan index or the cheapest plan whose peak
@@ -618,8 +713,35 @@ func (s *Server) dropOutputs(q *query) {
 	}
 }
 
-func (s *Server) runQuery(q *query) error {
-	res, err := s.plans(q.req, q.prog, q.subsets)
+func (s *Server) runQuery(q *query) (retErr error) {
+	// Span tree: the phases are strictly sequential in this function, so
+	// child durations account for (almost all of) the root's wall time.
+	root := telemetry.StartSpan("query")
+	root.Annotate("program", q.prog.Name)
+	if q.req.Tenant != "" {
+		root.Annotate("tenant", q.req.Tenant)
+	}
+	defer func() {
+		root.End()
+		if retErr != nil {
+			root.Annotate("error", retErr.Error())
+		}
+		s.tracer.Add(q.id, root)
+		s.reg.Histogram("riotshare_query_seconds",
+			"End-to-end query wall time (planning through result collection).",
+			nil, telemetry.L("program", q.prog.Name)).ObserveDuration(root.Duration())
+		s.maybeLogSlow(q, root, retErr)
+	}()
+
+	sp := root.Child("planning")
+	res, cached, err := s.plans(q.req, q.prog, q.subsets)
+	sp.End()
+	s.mPlanning.ObserveDuration(sp.Duration())
+	if cached {
+		sp.Annotate("cache", "hit")
+	} else {
+		sp.Annotate("cache", "miss")
+	}
 	if err != nil {
 		return err
 	}
@@ -627,6 +749,7 @@ func (s *Server) runQuery(q *query) error {
 	if err != nil {
 		return err
 	}
+	sp.Annotate("plan", pl.Label)
 	s.mu.Lock()
 	q.status.PlanIndex = pl.Index
 	q.status.PlanLabel = pl.Label
@@ -634,9 +757,12 @@ func (s *Server) runQuery(q *query) error {
 
 	peak := pl.Cost.PeakMemoryBytes
 	enqueued := time.Now()
+	sp = root.Child("admission-wait")
 	if err := s.gov.Admit(q.req.Tenant, peak, inputArrays(q.prog)); err != nil {
+		sp.End()
 		return err
 	}
+	sp.End()
 	defer s.gov.Release(q.req.Tenant, peak)
 	s.tenantMu.Lock()
 	tc := s.tenant(q.req.Tenant)
@@ -649,7 +775,9 @@ func (s *Server) runQuery(q *query) error {
 	q.status.Started = time.Now()
 	s.mu.Unlock()
 
+	sp = root.Child("input-fill")
 	alias, err := s.prepareArrays(q)
+	sp.End()
 	s.mu.Lock()
 	q.alias = alias
 	s.mu.Unlock()
@@ -670,7 +798,10 @@ func (s *Server) runQuery(q *query) error {
 		MemCapBytes: q.req.MemCapMB << 20,
 		Pool:        s.pool.TenantSession(q.req.Tenant, alias),
 	}
+	sp = root.Child("exec")
 	r, err := eng.RunOptions(pl.Timeline, exec.Options{Workers: workers, PrefetchDepth: prefetch})
+	sp.End()
+	s.recordExec(sp, r)
 	if err != nil {
 		s.dropOutputs(q) // partial outputs are garbage; reclaim frames + stores
 		return err
@@ -679,13 +810,16 @@ func (s *Server) runQuery(q *query) error {
 	// they stop competing with shared inputs for pool capacity. Targeted
 	// invalidation only: a global flush would write back other running
 	// queries' dirty accumulator frames and stall them on the pool lock.
+	sp = root.Child("result-fetch")
 	for _, phys := range alias {
 		if err := s.pool.InvalidateArray(phys); err != nil {
+			sp.End()
 			s.dropOutputs(q)
 			return err
 		}
 	}
 	outs, err := s.collectOutputs(q, alias)
+	sp.End()
 	if err != nil {
 		s.dropOutputs(q)
 		return err
@@ -695,6 +829,72 @@ func (s *Server) runQuery(q *query) error {
 	q.status.Outputs = outs
 	s.mu.Unlock()
 	return nil
+}
+
+// recordExec attaches per-stage kernel times and prefetch counts from
+// an execution's Result to its exec span and the stage histograms.
+func (s *Server) recordExec(sp *telemetry.Span, r exec.Result) {
+	stages := make([]string, 0, len(r.StageTimes))
+	for stage := range r.StageTimes {
+		stages = append(stages, stage)
+	}
+	sort.Strings(stages)
+	for _, stage := range stages {
+		d := r.StageTimes[stage]
+		c := telemetry.StartSpan("stage:" + stage)
+		c.EndWith(d)
+		sp.AttachChild(c)
+		s.reg.Histogram("riotshare_exec_stage_seconds",
+			"Cumulative kernel wall time per pipeline stage per query.",
+			nil, telemetry.L("stage", stage)).ObserveDuration(d)
+	}
+	if r.PrefetchIssued > 0 || r.PrefetchInline > 0 {
+		sp.Annotate("prefetchIssued", strconv.FormatInt(r.PrefetchIssued, 10))
+		sp.Annotate("prefetchInline", strconv.FormatInt(r.PrefetchInline, 10))
+		s.reg.Counter("riotshare_prefetch_issued_total",
+			"Prefetchable reads issued ahead of use by the async prefetcher.").Add(r.PrefetchIssued)
+		s.reg.Counter("riotshare_prefetch_inline_total",
+			"Prefetchable reads a consumer claimed inline (prefetch too late).").Add(r.PrefetchInline)
+	}
+}
+
+// slowQueryLine is the JSON schema of one slow-query log line.
+type slowQueryLine struct {
+	Time    time.Time       `json:"ts"`
+	QueryID string          `json:"queryId"`
+	Program string          `json:"program"`
+	Tenant  string          `json:"tenant,omitempty"`
+	WallMs  float64         `json:"wallMs"`
+	Err     string          `json:"error,omitempty"`
+	Trace   *telemetry.Span `json:"trace"`
+}
+
+// maybeLogSlow writes one structured JSON line with the query's span
+// breakdown when its wall time meets the slow-query threshold.
+func (s *Server) maybeLogSlow(q *query, root *telemetry.Span, err error) {
+	if s.cfg.SlowQueryMs <= 0 || root.Duration() < time.Duration(s.cfg.SlowQueryMs)*time.Millisecond {
+		return
+	}
+	s.mSlowTotal.Inc()
+	line := slowQueryLine{
+		Time:    time.Now(),
+		QueryID: q.id,
+		Program: q.prog.Name,
+		Tenant:  q.req.Tenant,
+		WallMs:  float64(root.Duration()) / float64(time.Millisecond),
+		Trace:   root,
+	}
+	if err != nil {
+		line.Err = err.Error()
+	}
+	buf, jerr := json.Marshal(line)
+	if jerr != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	s.slowMu.Lock()
+	_, _ = s.slowLog.Write(buf)
+	s.slowMu.Unlock()
 }
 
 // prepareArrays registers the query's arrays with the shared manager:
@@ -1010,6 +1210,13 @@ func (s *Server) Stats() Stats {
 		InputFills:        s.inputFills.Load(),
 		InputFillsSkipped: s.inputFillsSkipped.Load(),
 	}
+	if hits+misses > 0 {
+		st.PlanCacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	const ms = float64(time.Millisecond)
+	st.PlanningP50Ms = s.mPlanning.Quantile(0.50) * float64(time.Second) / ms
+	st.PlanningP95Ms = s.mPlanning.Quantile(0.95) * float64(time.Second) / ms
+	st.PlanningP99Ms = s.mPlanning.Quantile(0.99) * float64(time.Second) / ms
 	if s.sharded != nil {
 		st.Shards = s.sharded.ShardStats()
 		st.Replicas = s.sharded.Replicas()

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"riotshare/internal/prog"
+	"riotshare/internal/telemetry"
+)
+
+// runSmall submits the small program and waits for it, returning the id.
+func runSmall(t *testing.T, s *Server) string {
+	t.Helper()
+	id, err := s.Submit(Request{Program: "addmul-small", Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("query state = %s, err %q", st.State, st.Err)
+	}
+	return id
+}
+
+// TestQueryTraceCompleteness asserts every query phase appears exactly
+// once in the span tree and that the phases account for at least 90% of
+// the query's wall time — the acceptance bar for the tracer.
+func TestQueryTraceCompleteness(t *testing.T) {
+	s, _ := newHTTPServer(t)
+	id := runSmall(t, s)
+
+	tr, ok := s.Tracer().Get(id)
+	if !ok {
+		t.Fatalf("no trace retained for %s; ids = %v", id, s.Tracer().IDs())
+	}
+	root := tr.Root
+	if root.Name != "query" {
+		t.Fatalf("root span = %q, want query", root.Name)
+	}
+	// The program annotation is the program's own name ("addmul"), not
+	// the registry key it was submitted under.
+	if root.Annotations["program"] != "addmul" || root.Annotations["tenant"] != "acme" {
+		t.Fatalf("root annotations = %v", root.Annotations)
+	}
+
+	phases := map[string]int{}
+	var phaseSum time.Duration
+	for _, c := range root.Children {
+		phases[c.Name]++
+		phaseSum += c.Duration()
+	}
+	for _, want := range []string{"planning", "admission-wait", "input-fill", "exec", "result-fetch"} {
+		if phases[want] != 1 {
+			t.Errorf("phase %q appears %d times, want exactly once (tree: %v)", want, phases[want], phases)
+		}
+	}
+	if wall := root.Duration(); phaseSum < wall*9/10 {
+		t.Errorf("phases cover %v of %v wall (%.0f%%), want >= 90%%",
+			phaseSum, wall, 100*float64(phaseSum)/float64(wall))
+	}
+
+	// The exec phase carries per-stage child spans and prefetch
+	// annotations bridged from the engine's Result.
+	var execSpan *telemetry.Span
+	for _, c := range root.Children {
+		if c.Name == "exec" {
+			execSpan = c
+		}
+	}
+	stages := 0
+	for _, c := range execSpan.Children {
+		if strings.HasPrefix(c.Name, "stage:") {
+			stages++
+		}
+	}
+	if stages == 0 {
+		t.Errorf("exec span has no stage children: %v", execSpan.Children)
+	}
+}
+
+// TestSlowQueryLog asserts the threshold gates logging: every query is
+// slow at 1ns-scale thresholds, none at absurd ones, and the logged
+// line carries the full span breakdown.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := New(Config{
+		Dir:          t.TempDir(),
+		Seed:         testSeed,
+		Programs:     map[string]func() *prog.Program{"addmul-small": smallAddMul},
+		SlowQueryMs:  1, // the small program still takes >1ms of real work
+		SlowQueryLog: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id := runSmall(t, s)
+
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("no slow-query line logged at a 1ms threshold")
+	}
+	var got slowQueryLine
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("slow-query line is not one JSON object: %v\n%s", err, line)
+	}
+	if got.QueryID != id || got.Program != "addmul" || got.Tenant != "acme" {
+		t.Fatalf("slow-query line = %+v", got)
+	}
+	if got.WallMs < 1 {
+		t.Fatalf("wallMs = %v, want >= threshold", got.WallMs)
+	}
+	if got.Trace == nil || got.Trace.Name != "query" || len(got.Trace.Children) == 0 {
+		t.Fatalf("slow-query trace missing span breakdown: %+v", got.Trace)
+	}
+
+	// Same run shape under a sky-high threshold: nothing logged.
+	var quiet bytes.Buffer
+	s2, err := New(Config{
+		Dir:          t.TempDir(),
+		Seed:         testSeed,
+		Programs:     map[string]func() *prog.Program{"addmul-small": smallAddMul},
+		SlowQueryMs:  1 << 40,
+		SlowQueryLog: &quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	runSmall(t, s2)
+	if quiet.Len() != 0 {
+		t.Fatalf("logged below threshold: %s", quiet.String())
+	}
+}
+
+// expositionLine matches one Prometheus text-format sample line.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9.eE+-]+$`)
+
+// TestMetricsEndpoint asserts /metrics serves parseable exposition
+// covering every subsystem the issue names.
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	runSmall(t, s)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	for _, ln := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(ln, "# HELP ") || strings.HasPrefix(ln, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(ln) {
+			t.Errorf("unparseable exposition line: %q", ln)
+		}
+	}
+
+	for _, want := range []string{
+		"riotshare_admission_wait_seconds_bucket",
+		"riotshare_planning_seconds_count",
+		"riotshare_query_seconds_bucket",
+		"riotshare_exec_stage_seconds_bucket",
+		"riotshare_pool_hits_total",
+		"riotshare_pool_bytes_cached",
+		"riotshare_store_read_reqs_total",
+		"riotshare_queries_finished_total",
+		"riotshare_plan_cache_misses_total",
+		"riotshare_input_fills_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestTraceEndpoint covers the id listing, the span-tree fetch, and the
+// unknown-id 404.
+func TestTraceEndpoint(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	id := runSmall(t, s)
+
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Traces []string `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Traces) != 1 || listing.Traces[0] != id {
+		t.Fatalf("trace listing = %v", listing.Traces)
+	}
+
+	resp, err = http.Get(ts.URL + "/trace?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/trace Content-Type = %q", ct)
+	}
+	var tr telemetry.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tr.QueryID != id || tr.Root == nil || tr.Root.Name != "query" {
+		t.Fatalf("trace = %+v", tr)
+	}
+
+	resp, err = http.Get(ts.URL + "/trace?id=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d", resp.StatusCode)
+	}
+}
+
+// TestJSONContentTypeAndPretty asserts handlers declare
+// application/json, default to compact encoding, and honor ?pretty=1.
+func TestJSONContentTypeAndPretty(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	runSmall(t, s)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/stats Content-Type = %q", ct)
+	}
+	compact, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if bytes.Contains(bytes.TrimRight(compact, "\n"), []byte("\n")) {
+		t.Fatalf("default /stats is not compact:\n%s", compact)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats?pretty=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pretty, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(pretty, []byte("\n  \"")) {
+		t.Fatalf("?pretty=1 /stats is not indented:\n%s", pretty)
+	}
+	var a, b Stats
+	if err := json.Unmarshal(compact, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(pretty, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Finished != b.Finished {
+		t.Fatalf("pretty and compact stats disagree: %d vs %d", a.Finished, b.Finished)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/healthz Content-Type = %q", ct)
+	}
+}

@@ -47,6 +47,7 @@ import (
 
 	"riotshare/internal/blas"
 	"riotshare/internal/prog"
+	"riotshare/internal/telemetry"
 )
 
 // Placement names and functions. A placement maps (array, block row, block
@@ -208,6 +209,12 @@ type ShardedManager struct {
 	degraded      []atomic.Bool
 	healing       []atomic.Bool
 	degradedReads []atomic.Int64
+
+	// readLat/writeLat are per-shard latency histograms, installed by
+	// RegisterMetrics before the store takes traffic; nil when the
+	// store is uninstrumented (the common case in tests).
+	readLat  []*telemetry.Histogram
+	writeLat []*telemetry.Histogram
 
 	// degradeMu serializes the degrade decision (flag flip + coverage
 	// check + manifest removal) between explicit DegradeShard calls and
@@ -612,7 +619,9 @@ func (sm *ShardedManager) WriteBlock(array string, r, c int64, blk *blas.Matrix)
 		if sm.offline(i) {
 			continue
 		}
+		t0 := time.Now()
 		if err := sm.shards[i].WriteBlock(array, r, c, blk); err != nil {
+			observeSince(sm.writeLat, i, t0)
 			// Write-through to a healing shard is best effort: a store the
 			// repair scan has not ensured yet just means the block is
 			// re-mirrored (or served by fallback) later.
@@ -625,6 +634,7 @@ func (sm *ShardedManager) WriteBlock(array string, r, c int64, blk *blas.Matrix)
 			errs = append(errs, fmt.Errorf("storage: shard %d (%s): %w", i, sm.specs[i], err))
 			continue
 		}
+		observeSince(sm.writeLat, i, t0)
 		wrote++
 	}
 	if len(errs) > 0 {
@@ -653,7 +663,9 @@ func (sm *ShardedManager) ReadBlock(array string, r, c int64) (*blas.Matrix, err
 		if sm.degraded[i].Load() {
 			continue
 		}
+		t0 := time.Now()
 		blk, err := sm.shards[i].ReadBlock(array, r, c)
+		observeSince(sm.readLat, i, t0)
 		if err == nil {
 			if i != p {
 				sm.degradedReads[p].Add(1)

@@ -1,0 +1,558 @@
+// Package telemetry provides a dependency-free metrics registry
+// (counters, gauges, fixed-bucket latency histograms with quantile
+// extraction) and a per-query span tracer, plus Prometheus text
+// exposition. It is the observability layer shared by riotshared and
+// riotblockd.
+//
+// All handle types are nil-safe: methods on a nil *Registry return
+// nil handles, and methods on nil handles are no-ops. A component
+// instrumented against a nil registry therefore pays only a nil check
+// per call site, which is the "no-op path" the telemetry overhead
+// benchmark pins down.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key=value metric dimension.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefBuckets is the default latency histogram layout in seconds,
+// spanning 100µs to 60s. It suits both block I/O and whole-query
+// latencies in this system.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// metric kinds for exposition.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing integer metric. A nil
+// *Counter is a valid no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add increases the counter by n (negative n is ignored: counters are
+// monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can go up and down. A nil *Gauge is a
+// valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add offsets the gauge by v.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric. Buckets are
+// cumulative upper bounds as in Prometheus; an implicit +Inf bucket
+// always exists. A nil *Histogram is a valid no-op.
+type Histogram struct {
+	uppers  []float64      // finite upper bounds, ascending
+	counts  []atomic.Int64 // len(uppers)+1; last is +Inf overflow
+	sumBits atomic.Uint64  // float64 bits of the sample sum
+	count   atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of samples observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation within the bucket that contains it, mirroring
+// Prometheus's histogram_quantile. Samples beyond the last finite
+// bucket clamp to that bound. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.uppers) {
+				// +Inf bucket: clamp to the last finite bound.
+				if len(h.uppers) == 0 {
+					return 0
+				}
+				return h.uppers[len(h.uppers)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.uppers[i-1]
+			}
+			hi := h.uppers[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	if len(h.uppers) == 0 {
+		return 0
+	}
+	return h.uppers[len(h.uppers)-1]
+}
+
+// snapshot returns (bucketCounts, sum, count) read once; bucket
+// counts are cumulative as required by exposition.
+func (h *Histogram) snapshot() ([]int64, float64, int64) {
+	cum := make([]int64, len(h.counts))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, math.Float64frombits(h.sumBits.Load()), h.count.Load()
+}
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels []Label
+	key    string
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name    string
+	help    string
+	kind    string
+	buckets []float64
+	series  map[string]*series
+	order   []string
+}
+
+// Registry holds metric families and scrape-time collectors. The zero
+// value is not usable; call New. A nil *Registry is a valid no-op
+// registry: registration methods return nil handles.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	order      []string
+	collectors []func(*Emit)
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func (r *Registry) getFamily(name, help, kind string, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+func (f *family) getSeries(labels []Label) *series {
+	k := labelKey(labels)
+	s, ok := f.series[k]
+	if !ok {
+		cp := make([]Label, len(labels))
+		copy(cp, labels)
+		s = &series{labels: cp, key: k}
+		f.series[k] = s
+		f.order = append(f.order, k)
+	}
+	return s
+}
+
+// Counter registers (or fetches) a counter series. Safe for
+// concurrent use; returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, kindCounter, nil).getSeries(labels)
+	if s.ctr == nil {
+		s.ctr = &Counter{}
+	}
+	return s.ctr
+}
+
+// Gauge registers (or fetches) a gauge series. Safe for concurrent
+// use; returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, kindGauge, nil).getSeries(labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram registers (or fetches) a histogram series with the given
+// bucket upper bounds (nil means DefBuckets). Safe for concurrent
+// use; returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, kindHistogram, buckets).getSeries(labels)
+	if s.hist == nil {
+		h := &Histogram{uppers: buckets}
+		h.counts = make([]atomic.Int64, len(buckets)+1)
+		s.hist = h
+	}
+	return s.hist
+}
+
+// Collect registers fn to be invoked at every scrape. Collectors emit
+// point-in-time counter/gauge values sampled from existing stats
+// structs, so components with cheap snapshot methods need no hot-path
+// instrumentation. No-op on a nil registry.
+func (r *Registry) Collect(fn func(*Emit)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// Emit receives point-in-time samples from scrape collectors.
+type Emit struct {
+	fams  map[string]*emitFamily
+	order []string
+}
+
+type emitFamily struct {
+	help string
+	kind string
+	rows []emitRow
+}
+
+type emitRow struct {
+	labels []Label
+	value  float64
+}
+
+func (e *Emit) add(name, help, kind string, v float64, labels []Label) {
+	f, ok := e.fams[name]
+	if !ok {
+		f = &emitFamily{help: help, kind: kind}
+		e.fams[name] = f
+		e.order = append(e.order, name)
+	}
+	cp := make([]Label, len(labels))
+	copy(cp, labels)
+	f.rows = append(f.rows, emitRow{labels: cp, value: v})
+}
+
+// Counter emits a point-in-time counter sample.
+func (e *Emit) Counter(name, help string, v float64, labels ...Label) {
+	e.add(name, help, kindCounter, v, labels)
+}
+
+// Gauge emits a point-in-time gauge sample.
+func (e *Emit) Gauge(name, help string, v float64, labels ...Label) {
+	e.add(name, help, kindGauge, v, labels)
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelsWithLE appends an le label for histogram bucket lines.
+func labelsWithLE(labels []Label, le string) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, Label{Key: "le", Value: le})
+	return formatLabels(all)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes all registered families plus collector
+// output in Prometheus text exposition format (version 0.0.4).
+// Families are emitted in sorted name order and series in sorted
+// label order, so output is deterministic for a given state. No-op on
+// a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	collectors := make([]func(*Emit), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	e := &Emit{fams: map[string]*emitFamily{}}
+	for _, fn := range collectors {
+		fn(e)
+	}
+
+	// Merge registered family names with collector-emitted names.
+	seen := map[string]bool{}
+	all := make([]string, 0, len(names)+len(e.order))
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			all = append(all, n)
+		}
+	}
+	for _, n := range e.order {
+		if !seen[n] {
+			seen[n] = true
+			all = append(all, n)
+		}
+	}
+	sort.Strings(all)
+
+	var b strings.Builder
+	for _, name := range all {
+		r.mu.Lock()
+		f := r.families[name]
+		r.mu.Unlock()
+		ef := e.fams[name]
+		help, kind := "", ""
+		if f != nil {
+			help, kind = f.help, f.kind
+		} else if ef != nil {
+			help, kind = ef.help, ef.kind
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+		if f != nil {
+			writeFamily(&b, f)
+		}
+		if ef != nil {
+			writeEmitFamily(&b, name, ef)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeFamily(b *strings.Builder, f *family) {
+	keys := make([]string, len(f.order))
+	copy(keys, f.order)
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := f.series[k]
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, formatLabels(s.labels), s.ctr.Value())
+		case kindGauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, formatLabels(s.labels), formatFloat(s.gauge.Value()))
+		case kindHistogram:
+			cum, sum, count := s.hist.snapshot()
+			for i, upper := range f.buckets {
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelsWithLE(s.labels, formatFloat(upper)), cum[i])
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelsWithLE(s.labels, "+Inf"), cum[len(cum)-1])
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, formatLabels(s.labels), formatFloat(sum))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, formatLabels(s.labels), count)
+		}
+	}
+}
+
+func writeEmitFamily(b *strings.Builder, name string, ef *emitFamily) {
+	rows := make([]emitRow, len(ef.rows))
+	copy(rows, ef.rows)
+	sort.Slice(rows, func(i, j int) bool {
+		return labelKey(rows[i].labels) < labelKey(rows[j].labels)
+	})
+	for _, row := range rows {
+		fmt.Fprintf(b, "%s%s %s\n", name, formatLabels(row.labels), formatFloat(row.value))
+	}
+}

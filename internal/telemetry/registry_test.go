@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("riot_test_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same handle.
+	if r.Counter("riot_test_total", "test counter") != c {
+		t.Fatal("re-registration returned a different handle")
+	}
+	g := r.Gauge("riot_test_gauge", "test gauge", L("tenant", "a"))
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry should hand out nil handles")
+	}
+	// None of these may panic.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Quantile(0.5) != 0 || c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles should read as zero")
+	}
+	r.Collect(func(*Emit) { t.Fatal("collector must not run") })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("riot_test_seconds", "test", []float64{0.01, 0.1, 1, 10})
+	// 100 samples spread evenly through the 0–0.01 bucket, 100 through
+	// the 0.01–0.1 bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+		h.Observe(0.05)
+	}
+	if got := h.Count(); got != 200 {
+		t.Fatalf("count = %d, want 200", got)
+	}
+	if got, want := h.Sum(), 100*0.005+100*0.05; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// p50 lands exactly at the first bucket's upper bound.
+	if got := h.Quantile(0.5); math.Abs(got-0.01) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.01", got)
+	}
+	// p75 is halfway through the second bucket: 0.01 + 0.5*(0.1-0.01).
+	if got := h.Quantile(0.75); math.Abs(got-0.055) > 1e-9 {
+		t.Fatalf("p75 = %v, want 0.055", got)
+	}
+	// Values past the last finite bucket clamp to it.
+	h2 := r.Histogram("riot_test_clamp_seconds", "test", []float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Fatalf("overflow quantile = %v, want clamp to 1", got)
+	}
+	// Empty histogram.
+	h3 := r.Histogram("riot_test_empty_seconds", "test", nil)
+	if got := h3.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+// TestRegistryConcurrency exercises parallel registration and writes
+// against concurrent scrapes; meaningful under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := New()
+	r.Collect(func(e *Emit) {
+		e.Gauge("riot_test_collected", "from collector", 1, L("src", "test"))
+	})
+	var wg sync.WaitGroup
+	const workers = 8
+	const iters = 500
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tenant := string(rune('a' + w%4))
+			for i := 0; i < iters; i++ {
+				r.Counter("riot_test_ops_total", "ops", L("tenant", tenant)).Inc()
+				r.Gauge("riot_test_depth", "depth", L("tenant", tenant)).Set(float64(i))
+				r.Histogram("riot_test_lat_seconds", "lat", nil, L("tenant", tenant)).Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	// Scrape concurrently with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Snapshot consistency: total ops across tenants equals all writes.
+	var total int64
+	for _, tenant := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("riot_test_ops_total", "ops", L("tenant", tenant)).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("total ops = %d, want %d", total, workers*iters)
+	}
+}
+
+// TestWritePrometheusGolden locks the exposition format: HELP/TYPE
+// headers, sorted families and series, cumulative histogram buckets
+// with +Inf, _sum and _count lines, label escaping.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("riot_b_total", "b counter", L("tenant", "t1")).Add(3)
+	r.Counter("riot_b_total", "b counter", L("tenant", `quo"te`)).Inc()
+	r.Gauge("riot_a_bytes", "a gauge").Set(1024)
+	h := r.Histogram("riot_c_seconds", "c histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Collect(func(e *Emit) {
+		e.Gauge("riot_d_collected", "from a collector", 7, L("shard", "0"))
+	})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP riot_a_bytes a gauge
+# TYPE riot_a_bytes gauge
+riot_a_bytes 1024
+# HELP riot_b_total b counter
+# TYPE riot_b_total counter
+riot_b_total{tenant="quo\"te"} 1
+riot_b_total{tenant="t1"} 3
+# HELP riot_c_seconds c histogram
+# TYPE riot_c_seconds histogram
+riot_c_seconds_bucket{le="0.1"} 1
+riot_c_seconds_bucket{le="1"} 2
+riot_c_seconds_bucket{le="+Inf"} 3
+riot_c_seconds_sum 5.55
+riot_c_seconds_count 3
+# HELP riot_d_collected from a collector
+# TYPE riot_d_collected gauge
+riot_d_collected{shard="0"} 7
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSpanTreeAndTracer(t *testing.T) {
+	root := StartSpan("query")
+	p := root.Child("planning")
+	p.Annotate("cache", "miss")
+	p.End()
+	e := root.Child("exec")
+	stage := StartSpan("stage:load")
+	stage.EndWith(42 * time.Millisecond)
+	e.AttachChild(stage)
+	e.End()
+	root.End()
+
+	if len(root.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(root.Children))
+	}
+	if stage.Duration() != 42*time.Millisecond {
+		t.Fatalf("stage duration = %v", stage.Duration())
+	}
+
+	tr := NewTracer(2)
+	tr.Add("q1", root)
+	tr.Add("q2", root)
+	tr.Add("q3", root)
+	if _, ok := tr.Get("q1"); ok {
+		t.Fatal("q1 should have been evicted from a capacity-2 ring")
+	}
+	got, ok := tr.Get("q3")
+	if !ok || got.QueryID != "q3" || got.Root != root {
+		t.Fatalf("Get(q3) = %+v, %v", got, ok)
+	}
+	if ids := tr.IDs(); len(ids) != 2 || ids[0] != "q2" || ids[1] != "q3" {
+		t.Fatalf("IDs = %v", ids)
+	}
+
+	var sb strings.Builder
+	root.Render(&sb, 0)
+	out := sb.String()
+	for _, frag := range []string{"query", "planning", "cache=miss", "stage:load"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("rendered trace missing %q:\n%s", frag, out)
+		}
+	}
+
+	// Nil safety.
+	var ns *Span
+	ns.End()
+	ns.Annotate("k", "v")
+	ns.AttachChild(root)
+	if ns.Child("x") != nil {
+		t.Fatal("nil span Child should be nil")
+	}
+	var nt *Tracer
+	nt.Add("x", root)
+	if _, ok := nt.Get("x"); ok {
+		t.Fatal("nil tracer should not store")
+	}
+}

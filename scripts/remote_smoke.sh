@@ -5,7 +5,11 @@
 #      striping over them with 2-way replication and persistence,
 #   2. run a query end to end and verify it succeeds,
 #   3. kill one riotblockd and verify the same query still succeeds via
-#      degraded reads (degradedReads > 0 in /stats),
+#      degraded reads (degradedReads > 0 in /stats), that /metrics on
+#      riotshared parses as Prometheus text exposition with
+#      riotshare_shard_degraded_reads_total gone positive, and that the
+#      surviving riotblockd's -metrics-addr sidecar serves its own
+#      exposition,
 #   4. restart the dead server, repair the shard, verify it is healthy,
 #   5. restart riotshared against the persisted catalog and verify the
 #      shared inputs are served with zero refill writes.
@@ -18,6 +22,7 @@ cd "$(dirname "$0")/.."
 
 PORT_BASE=${PORT_BASE:-18441}
 HTTP_PORT=${HTTP_PORT:-18377}
+BLOCKD_METRICS_PORT=${BLOCKD_METRICS_PORT:-19441}
 ADDR="http://127.0.0.1:${HTTP_PORT}"
 WORK=$(mktemp -d)
 BIN="$WORK/bin"
@@ -55,7 +60,10 @@ go build -o "$BIN/riotshared" ./cmd/riotshared
 
 start_blockd() { # start_blockd <shard index>
     local i=$1 port=$((PORT_BASE + $1))
-    "$BIN/riotblockd" -addr "127.0.0.1:$port" -root "$WORK/shard-$i" -quiet &
+    local metrics=()
+    # Shard 0 (never killed below) carries the /metrics sidecar under test.
+    if [ "$i" = 0 ]; then metrics=(-metrics-addr "127.0.0.1:$BLOCKD_METRICS_PORT"); fi
+    "$BIN/riotblockd" -addr "127.0.0.1:$port" -root "$WORK/shard-$i" -quiet ${metrics[@]+"${metrics[@]}"} &
     BLOCKD_PID[$i]=$!
     PIDS+=("${BLOCKD_PID[$i]}")
     wait_tcp 127.0.0.1 "$port" || fail "riotblockd $i did not come up on :$port"
@@ -90,6 +98,16 @@ stat_field() {
     curl -sf "$ADDR/stats" | sed -n "s/.*\"$1\": *\([0-9]*\).*/\1/p" | head -1
 }
 
+# metrics_get url — fetch a /metrics endpoint, fail unless every line is
+# valid Prometheus text exposition, and print the body.
+metrics_get() {
+    curl -sf "$1" > "$WORK/metrics.txt" || fail "GET $1 failed"
+    grep -vE '^# (HELP|TYPE) ' "$WORK/metrics.txt" |
+        grep -qvE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+-]+$' &&
+        fail "unparseable Prometheus exposition from $1"
+    cat "$WORK/metrics.txt"
+}
+
 echo "== boot 4 riotblockd + riotshared (replicas=2, persist)"
 declare -a BLOCKD_PID
 SHARD_ADDRS=""
@@ -102,6 +120,13 @@ start_shared
 echo "== query end to end on the healthy fleet"
 submit_query >/dev/null
 
+echo "== /metrics on riotshared and the shard-0 riotblockd sidecar"
+metrics_get "$ADDR/metrics" | grep -q '^riotshare_query_seconds_count' ||
+    fail "riotshared /metrics lacks riotshare_query_seconds after a query"
+metrics_get "http://127.0.0.1:${BLOCKD_METRICS_PORT}/metrics" |
+    grep -q '^riotblockd_op_seconds_count' ||
+    fail "riotblockd /metrics lacks riotblockd_op_seconds after traffic"
+
 echo "== kill shard 1's server; query must survive on degraded reads"
 kill "${BLOCKD_PID[1]}"
 wait "${BLOCKD_PID[1]}" 2>/dev/null || true
@@ -111,6 +136,9 @@ degraded=$(stat_field degradedReads)
     fail "expected degradedReads > 0 after killing shard 1, got '${degraded:-0}'"
 curl -sf "$ADDR/stats" | grep -q '"degraded": *true' ||
     fail "expected a degraded shard in /stats"
+metrics_get "$ADDR/metrics" |
+    awk '/^riotshare_shard_degraded_reads_total/ {s += $NF} END {exit !(s > 0)}' ||
+    fail "expected riotshare_shard_degraded_reads_total > 0 in /metrics"
 echo "   degradedReads=$degraded"
 
 echo "== restart the server, repair shard 1, verify healthy"
