@@ -322,14 +322,20 @@ type Server struct {
 	// reg and tracer are the service's telemetry: a metrics registry
 	// scraped by GET /metrics and a bounded ring of completed query
 	// span trees served by GET /trace. Both are always live; the
-	// histogram handles below are registered once at startup so the
-	// query path never takes the registry lock.
-	reg        *telemetry.Registry
-	tracer     *telemetry.Tracer
-	mPlanning  *telemetry.Histogram
-	mSlowTotal *telemetry.Counter
-	slowMu     sync.Mutex
-	slowLog    io.Writer
+	// handles below are registered once at startup and the labeled
+	// families are memoizing vecs, so the steady-state query path
+	// takes the registry lock only the first time a program, tenant,
+	// or stage label is seen.
+	reg                              *telemetry.Registry
+	tracer                           *telemetry.Tracer
+	mPlanning                        *telemetry.Histogram
+	mSlowTotal                       *telemetry.Counter
+	mQuery                           *telemetry.HistogramVec // by program
+	mAdmitWait                       *telemetry.HistogramVec // by tenant
+	mExecStage                       *telemetry.HistogramVec // by stage
+	mPrefetchIssued, mPrefetchInline *telemetry.Counter
+	slowMu                           sync.Mutex
+	slowLog                          io.Writer
 }
 
 // tenantCounters aggregates one tenant's submission lifecycle on the
@@ -403,14 +409,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	reg := telemetry.New()
+	admitWait := reg.HistogramVec("riotshare_admission_wait_seconds",
+		"Admission queue wait per tenant (Admit call to grant).", nil, "tenant")
 	gcfg := govern.Config{
 		MaxConcurrent:  cfg.MaxConcurrent,
 		GlobalMemBytes: cfg.GlobalMemBytes,
 		Tenants:        cfg.Tenants,
 		OnGrant: func(tenant string, wait time.Duration) {
-			reg.Histogram("riotshare_admission_wait_seconds",
-				"Admission queue wait per tenant (Admit call to grant).",
-				nil, telemetry.L("tenant", tenant)).ObserveDuration(wait)
+			admitWait.With(tenant).ObserveDuration(wait)
 		},
 	}
 	if !cfg.NoAffinity {
@@ -449,6 +455,15 @@ func New(cfg Config) (*Server, error) {
 		"Latency of plan-cache lookup or planning per query.", nil)
 	s.mSlowTotal = reg.Counter("riotshare_slow_queries_total",
 		"Queries whose wall time met the slow-query threshold.")
+	s.mQuery = reg.HistogramVec("riotshare_query_seconds",
+		"End-to-end query wall time (planning through result collection).", nil, "program")
+	s.mAdmitWait = admitWait
+	s.mExecStage = reg.HistogramVec("riotshare_exec_stage_seconds",
+		"Cumulative kernel wall time per pipeline stage per query.", nil, "stage")
+	s.mPrefetchIssued = reg.Counter("riotshare_prefetch_issued_total",
+		"Prefetchable reads issued ahead of use by the async prefetcher.")
+	s.mPrefetchInline = reg.Counter("riotshare_prefetch_inline_total",
+		"Prefetchable reads a consumer claimed inline (prefetch too late).")
 	pool.RegisterMetrics(reg)
 	if sharded != nil {
 		sharded.RegisterMetrics(reg)
@@ -727,9 +742,7 @@ func (s *Server) runQuery(q *query) (retErr error) {
 			root.Annotate("error", retErr.Error())
 		}
 		s.tracer.Add(q.id, root)
-		s.reg.Histogram("riotshare_query_seconds",
-			"End-to-end query wall time (planning through result collection).",
-			nil, telemetry.L("program", q.prog.Name)).ObserveDuration(root.Duration())
+		s.mQuery.With(q.prog.Name).ObserveDuration(root.Duration())
 		s.maybeLogSlow(q, root, retErr)
 	}()
 
@@ -844,17 +857,13 @@ func (s *Server) recordExec(sp *telemetry.Span, r exec.Result) {
 		c := telemetry.StartSpan("stage:" + stage)
 		c.EndWith(d)
 		sp.AttachChild(c)
-		s.reg.Histogram("riotshare_exec_stage_seconds",
-			"Cumulative kernel wall time per pipeline stage per query.",
-			nil, telemetry.L("stage", stage)).ObserveDuration(d)
+		s.mExecStage.With(stage).ObserveDuration(d)
 	}
 	if r.PrefetchIssued > 0 || r.PrefetchInline > 0 {
 		sp.Annotate("prefetchIssued", strconv.FormatInt(r.PrefetchIssued, 10))
 		sp.Annotate("prefetchInline", strconv.FormatInt(r.PrefetchInline, 10))
-		s.reg.Counter("riotshare_prefetch_issued_total",
-			"Prefetchable reads issued ahead of use by the async prefetcher.").Add(r.PrefetchIssued)
-		s.reg.Counter("riotshare_prefetch_inline_total",
-			"Prefetchable reads a consumer claimed inline (prefetch too late).").Add(r.PrefetchInline)
+		s.mPrefetchIssued.Add(r.PrefetchIssued)
+		s.mPrefetchInline.Add(r.PrefetchInline)
 	}
 }
 

@@ -260,20 +260,39 @@ func New() *Registry {
 	return &Registry{families: map[string]*family{}}
 }
 
+// labelKey builds the series memoization key: labels are sorted by
+// key so call-site order doesn't split a label set into two series,
+// and the separators ','/'=' (plus '\') are escaped so no label value
+// can collide with a differently-split label set. The escaping keeps
+// keys lexicographically ordered like their label sets, so series
+// sort order in exposition follows label order.
 func labelKey(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
 	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
 	var b strings.Builder
-	for i, l := range labels {
+	for i, l := range sorted {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(l.Key)
+		keyEscape(&b, l.Key)
 		b.WriteByte('=')
-		b.WriteString(l.Value)
+		keyEscape(&b, l.Value)
 	}
 	return b.String()
+}
+
+func keyEscape(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\\' || c == ',' || c == '=' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(c)
+	}
 }
 
 func (r *Registry) getFamily(name, help, kind string, buckets []float64) *family {
@@ -287,7 +306,22 @@ func (r *Registry) getFamily(name, help, kind string, buckets []float64) *family
 	if f.kind != kind {
 		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, f.kind))
 	}
+	if kind == kindHistogram && !sameBuckets(f.buckets, buckets) {
+		panic(fmt.Sprintf("telemetry: histogram %q re-registered with buckets %v (was %v)", name, buckets, f.buckets))
+	}
 	return f
+}
+
+func sameBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (f *family) getSeries(labels []Label) *series {
@@ -352,6 +386,43 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 		s.hist = h
 	}
 	return s.hist
+}
+
+// HistogramVec is a single-label histogram family whose per-value
+// handles are memoized in a lock-free map, so a steady-state hot path
+// (one Observe per query/grant) only takes the registry mutex the
+// first time a label value is seen. A nil *HistogramVec is a valid
+// no-op.
+type HistogramVec struct {
+	reg     *Registry
+	name    string
+	help    string
+	buckets []float64
+	label   string
+	m       sync.Map // label value -> *Histogram
+}
+
+// HistogramVec returns a memoizing view over the named histogram
+// family keyed by one label. Returns nil on a nil registry.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, label string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{reg: r, name: name, help: help, buckets: buckets, label: label}
+}
+
+// With returns the histogram series for the given label value,
+// registering it on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if h, ok := v.m.Load(value); ok {
+		return h.(*Histogram)
+	}
+	h := v.reg.Histogram(v.name, v.help, v.buckets, L(v.label, value))
+	v.m.Store(value, h)
+	return h
 }
 
 // Collect registers fn to be invoked at every scrape. Collectors emit
@@ -469,9 +540,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// Snapshot family metadata and series handle lists while holding
+	// the lock: concurrent Counter/Gauge/Histogram calls mutate the
+	// series maps, so they must never be read unlocked. The handles
+	// themselves are updated via atomics, so formatting can proceed
+	// outside the lock on the snapshot.
 	r.mu.Lock()
 	names := make([]string, len(r.order))
 	copy(names, r.order)
+	snaps := make(map[string]*famSnapshot, len(r.families))
+	for _, name := range names {
+		snaps[name] = r.families[name].snapshot()
+	}
 	collectors := make([]func(*Emit), len(r.collectors))
 	copy(collectors, r.collectors)
 	r.mu.Unlock()
@@ -500,9 +580,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 	var b strings.Builder
 	for _, name := range all {
-		r.mu.Lock()
-		f := r.families[name]
-		r.mu.Unlock()
+		f := snaps[name]
 		ef := e.fams[name]
 		help, kind := "", ""
 		if f != nil {
@@ -523,12 +601,28 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
-func writeFamily(b *strings.Builder, f *family) {
+// famSnapshot is a scrape-time copy of one family's metadata and
+// series handle list, taken under the registry lock.
+type famSnapshot struct {
+	name, help, kind string
+	series           []*series
+}
+
+// snapshot copies the family's series handles in sorted key order.
+// Must be called with the registry lock held.
+func (f *family) snapshot() *famSnapshot {
 	keys := make([]string, len(f.order))
 	copy(keys, f.order)
 	sort.Strings(keys)
+	sl := make([]*series, 0, len(keys))
 	for _, k := range keys {
-		s := f.series[k]
+		sl = append(sl, f.series[k])
+	}
+	return &famSnapshot{name: f.name, help: f.help, kind: f.kind, series: sl}
+}
+
+func writeFamily(b *strings.Builder, f *famSnapshot) {
+	for _, s := range f.series {
 		switch f.kind {
 		case kindCounter:
 			fmt.Fprintf(b, "%s%s %d\n", f.name, formatLabels(s.labels), s.ctr.Value())
@@ -536,7 +630,7 @@ func writeFamily(b *strings.Builder, f *family) {
 			fmt.Fprintf(b, "%s%s %s\n", f.name, formatLabels(s.labels), formatFloat(s.gauge.Value()))
 		case kindHistogram:
 			cum, sum, count := s.hist.snapshot()
-			for i, upper := range f.buckets {
+			for i, upper := range s.hist.uppers {
 				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelsWithLE(s.labels, formatFloat(upper)), cum[i])
 			}
 			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelsWithLE(s.labels, "+Inf"), cum[len(cum)-1])

@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"io"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -134,6 +136,107 @@ func TestRegistryConcurrency(t *testing.T) {
 	if total != workers*iters {
 		t.Fatalf("total ops = %d, want %d", total, workers*iters)
 	}
+}
+
+// TestScrapeDuringRegistration drives parallel WritePrometheus calls
+// against registrations that keep introducing never-seen label
+// values, so scrapes overlap series-map growth (including rehashes).
+// The scrapers must run in their own goroutines: a single-threaded
+// scrape loop re-acquires the registry mutex each iteration, which
+// publishes its unlocked reads to the writers and hides the race from
+// the detector. This shape crashes the pre-snapshot exposition path
+// with "concurrent map read and map write".
+func TestScrapeDuringRegistration(t *testing.T) {
+	r := New()
+	// Writers register a bounded but large stream of fresh label
+	// values; scrapers keep scraping until every writer is done, so
+	// series-map growth always overlaps exposition.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				v := string(rune('a'+w)) + "-" + strconv.Itoa(i)
+				r.Counter("riot_test_grow_total", "grow", L("tenant", v)).Inc()
+				r.Histogram("riot_test_grow_seconds", "grow", nil, L("tenant", v)).Observe(0.01)
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+	var sg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		sg.Add(1)
+		go func() {
+			defer sg.Done()
+			for {
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	sg.Wait()
+}
+
+// TestLabelKeyCanonical pins the series-identity rules: label order
+// must not matter, and separator characters in values must not let
+// two different label sets collide.
+func TestLabelKeyCanonical(t *testing.T) {
+	r := New()
+	c1 := r.Counter("riot_test_order_total", "order", L("a", "1"), L("b", "2"))
+	c2 := r.Counter("riot_test_order_total", "order", L("b", "2"), L("a", "1"))
+	if c1 != c2 {
+		t.Fatal("label order created two series for the same label set")
+	}
+	// {a="1,b=2"} must not collide with {a="1", b="2"}.
+	c3 := r.Counter("riot_test_order_total", "order", L("a", "1,b=2"))
+	if c3 == c1 {
+		t.Fatal("separator characters in a label value collided with a different label set")
+	}
+}
+
+// TestHistogramBucketMismatchPanics pins that re-registering a
+// histogram family with a different bucket layout fails loudly
+// instead of mixing layouts within one family.
+func TestHistogramBucketMismatchPanics(t *testing.T) {
+	r := New()
+	r.Histogram("riot_test_layout_seconds", "layout", []float64{0.1, 1}, L("op", "a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bucket layout mismatch did not panic")
+		}
+	}()
+	r.Histogram("riot_test_layout_seconds", "layout", []float64{0.5}, L("op", "b"))
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := New()
+	v := r.HistogramVec("riot_test_vec_seconds", "vec", []float64{1}, "tenant")
+	h := v.With("a")
+	if h == nil {
+		t.Fatal("vec returned nil handle on live registry")
+	}
+	if v.With("a") != h {
+		t.Fatal("vec did not memoize the handle")
+	}
+	// The vec resolves to the same series as direct registration.
+	if r.Histogram("riot_test_vec_seconds", "vec", []float64{1}, L("tenant", "a")) != h {
+		t.Fatal("vec series differs from direct registration")
+	}
+	var nv *HistogramVec
+	if nv.With("x") != nil {
+		t.Fatal("nil vec should hand out nil handles")
+	}
+	nv.With("x").Observe(1) // must not panic
 }
 
 // TestWritePrometheusGolden locks the exposition format: HELP/TYPE
