@@ -29,11 +29,13 @@ bench:
 # amplification, healthy vs degraded-fallback read latency) into
 # BENCH_replica.json, and the network block-service round-trip benchmarks
 # (remote read/write vs local dir, pipelined vs serial under device
-# latency) into BENCH_remote.json, and the telemetry overhead benchmark
+# latency) into BENCH_remote.json, the telemetry overhead benchmark
 # (instrumented vs no-op registry on the pipelined exec path — the two
-# must stay within a few percent of each other) into BENCH_telemetry.json.
-# CI uploads all six as artifacts and gates on them via bench-check. Each
-# step runs separately so a failing benchmark fails the target.
+# must stay within a few percent of each other) into BENCH_telemetry.json,
+# and the three-tier planner benchmark (full Apriori search vs budgeted
+# greedy vs warm cache-served query) into BENCH_planner.json.
+# CI uploads all seven as artifacts and gates on them via bench-check.
+# Each step runs separately so a failing benchmark fails the target.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelExec' -benchtime 3x . > .bench-exec.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkPool' -benchmem ./internal/buffer > .bench-pool.txt
@@ -48,7 +50,9 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_remote.json < .bench-remote.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchtime 5x . > .bench-telemetry.txt
 	$(GO) run ./cmd/benchjson -out BENCH_telemetry.json < .bench-telemetry.txt
-	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt .bench-shard.txt .bench-replica.txt .bench-remote.txt .bench-telemetry.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkPlannerTiers' -benchtime 3x . > .bench-planner.txt
+	$(GO) run ./cmd/benchjson -out BENCH_planner.json < .bench-planner.txt
+	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt .bench-shard.txt .bench-replica.txt .bench-remote.txt .bench-telemetry.txt .bench-planner.txt
 
 # Bench-regression gate: stash the committed baselines, rerun the
 # benchmarks, and fail on a >25% ns/op regression against any baseline.
@@ -56,7 +60,7 @@ bench-json:
 # baseline deliberately.
 bench-check:
 	@mkdir -p .bench-base
-	cp BENCH_pool.json BENCH_cache.json BENCH_shard.json BENCH_replica.json BENCH_remote.json BENCH_telemetry.json .bench-base/
+	cp BENCH_pool.json BENCH_cache.json BENCH_shard.json BENCH_replica.json BENCH_remote.json BENCH_telemetry.json BENCH_planner.json .bench-base/
 	$(MAKE) bench-json
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_pool.json BENCH_pool.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_cache.json BENCH_cache.json -tolerance 0.25
@@ -64,13 +68,14 @@ bench-check:
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_replica.json BENCH_replica.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_remote.json BENCH_remote.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_telemetry.json BENCH_telemetry.json -tolerance 0.25
+	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_planner.json BENCH_planner.json -tolerance 0.25
 	@rm -rf .bench-base
 
-# Godoc completeness over the public surface: the facade, the storage and
-# server layers, and the network plane. CI fails on any exported
-# identifier without a doc comment.
+# Godoc completeness over the public surface: the facade, the planner
+# (core/sched/cost), the storage and server layers, and the network
+# plane. CI fails on any exported identifier without a doc comment.
 doc-check:
-	$(GO) run ./cmd/doccheck . ./internal/storage ./internal/server ./internal/blockd ./internal/blockproto ./internal/telemetry
+	$(GO) run ./cmd/doccheck . ./internal/core ./internal/sched ./internal/cost ./internal/storage ./internal/server ./internal/blockd ./internal/blockproto ./internal/telemetry
 
 # End-to-end fleet smoke test: 4 riotblockd + riotshared, query, kill a
 # server, repair, restart against the persisted catalog.

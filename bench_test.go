@@ -1,6 +1,8 @@
 package riotshare_test
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"testing"
@@ -12,6 +14,7 @@ import (
 	"riotshare/internal/core"
 	"riotshare/internal/deps"
 	"riotshare/internal/sched"
+	"riotshare/internal/server"
 	"riotshare/internal/storage"
 	"riotshare/internal/telemetry"
 )
@@ -138,7 +141,7 @@ func BenchmarkAblationApriori(b *testing.B) {
 	b.Run("pruned", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s := sched.NewSearcher(an)
-			if _, err := s.Search(sched.SearchOptions{}); err != nil {
+			if _, err := s.Search(context.Background(), sched.SearchOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -146,7 +149,7 @@ func BenchmarkAblationApriori(b *testing.B) {
 	b.Run("powerset", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s := sched.NewSearcher(an)
-			if _, err := s.Search(sched.SearchOptions{NoPruning: true}); err != nil {
+			if _, err := s.Search(context.Background(), sched.SearchOptions{NoPruning: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -368,6 +371,67 @@ func BenchmarkKernels(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			dst.Zero()
 			blas.GemmNaive(dst, a, false, bb, false)
+		}
+	})
+}
+
+// BenchmarkPlannerTiers measures the three planning tiers on the TwoMM
+// workload: "full" is the Apriori plan-space search (what the background
+// improver runs off the query path), "greedy" is the tier-2 budgeted
+// fast path a cold query pays under -plan-budget-ms, and "cached/query"
+// is a whole warm query through the server — plan served from the tier-1
+// cache, so planning is a map lookup and execution dominates.
+// BENCH_planner.json records all three so bench-check catches the greedy
+// tier's advantage eroding (or the full search speeding up enough to
+// retire the tier split).
+func BenchmarkPlannerTiers(b *testing.B) {
+	build := func() *riotshare.Program {
+		return riotshare.TwoMM(riotshare.TwoMMConfig{
+			N1: 4, N2: 4, N3: 4, N4: 4,
+			ABlock: riotshare.Dims{Rows: 32, Cols: 32},
+			BBlock: riotshare.Dims{Rows: 32, Cols: 32},
+			DBlock: riotshare.Dims{Rows: 32, Cols: 32},
+		})
+	}
+	opt := riotshare.Options{BindParams: true}
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := riotshare.OptimizeGreedy(context.Background(), build(), opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := riotshare.Optimize(build(), opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached/query", func(b *testing.B) {
+		s, err := server.New(server.Config{
+			Dir:        b.TempDir(),
+			Seed:       1,
+			Programs:   map[string]func() *riotshare.Program{"twomm": build},
+			PlanBudget: 10 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		run := func() {
+			id, err := s.Submit(server.Request{Program: "twomm"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st, err := s.Wait(id); err != nil || st.State != server.StateDone {
+				b.Fatalf("state %v, err %v (%s)", st.State, err, st.Err)
+			}
+		}
+		run() // warm the plan cache (greedy tier pays once)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
 		}
 	})
 }

@@ -21,6 +21,7 @@
 //	riotshared results -addr http://localhost:8377 -id q1 -wait
 //	riotshared stats   -addr http://localhost:8377 -tenant acme
 //	riotshared stats   -addr http://localhost:8377 -watch 2s   # live delta view
+//	riotshared stats   -addr http://localhost:8377 -planner    # planner tiers + improver
 //	riotshared trace   -addr http://localhost:8377 q1          # span-tree breakdown
 //	riotshared repair  -addr http://localhost:8377 -shard 1
 //
@@ -86,6 +87,10 @@ func serve(fs *flag.FlagSet, args []string) error {
 		prefetch = fs.Int("prefetch", 0, "default I/O prefetch window per query (0 = 2x workers)")
 		seed     = fs.Int64("seed", 1, "synthetic input data seed")
 		full     = fs.Bool("full", false, "full plan-space search for linreg (minutes)")
+
+		planBudgetMs = fs.Int64("plan-budget-ms", 250, "wall-clock budget for the greedy fast-path planner on a cache miss (0 = full search every miss)")
+		planImprover = fs.Bool("plan-improver", true, "re-plan greedy-planned cache entries with the full search in the background and hot-swap better plans")
+		planCacheN   = fs.Int("plan-cache", 256, "plan cache entry cap, LRU-evicted (-1 = unlimited)")
 
 		shards     = fs.Int("shards", 1, "stripe the block store across N shard dirs under -data (devices)")
 		shardDirs  = fs.String("shard-dirs", "", "explicit comma-separated shard directories (overrides -shards; order matters)")
@@ -166,6 +171,9 @@ func serve(fs *flag.FlagSet, args []string) error {
 		PrefetchDepth:        *prefetch,
 		Seed:                 *seed,
 		FullSearch:           *full,
+		PlanBudget:           time.Duration(*planBudgetMs) * time.Millisecond,
+		PlanImprover:         *planImprover,
+		PlanCacheEntries:     *planCacheN,
 		SlowQueryMs:          *slowMs,
 		EnablePprof:          *pprofOn,
 		TraceCapacity:        *traceCap,
@@ -257,6 +265,7 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 		wait     = fs.Bool("wait", false, "block until the query finishes (results)")
 		shard    = fs.Int("shard", -1, "shard index to re-mirror from its replicas (repair)")
 		watch    = fs.Duration("watch", 0, "poll /stats at this interval and render counter deltas (stats)")
+		planner  = fs.Bool("planner", false, "render per-tier planning percentiles and improver activity (stats)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -307,6 +316,9 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 			}
 			return watchStats(*addr, *watch)
 		}
+		if *planner {
+			return printPlannerStats(*addr)
+		}
 		u := *addr + "/stats"
 		if *tenant != "" {
 			u += "?tenant=" + url.QueryEscape(*tenant)
@@ -328,12 +340,14 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 
 // watchStats polls /stats and renders one delta line per tick: running
 // and queued gauges as-is, counters as per-interval deltas, rates and
-// percentiles from the current snapshot. Exits on SIGINT/SIGTERM.
+// percentiles from the current snapshot. Δswaps counts plan tables the
+// background improver hot-swapped during the interval. Exits on
+// SIGINT/SIGTERM.
 func watchStats(addr string, interval time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("%-8s %4s %6s %5s %5s %7s %7s %7s %8s %7s %7s\n",
-		"time", "run", "queued", "Δsub", "Δfin", "Δreads", "ΔrdMB", "ΔwrMB", "poolHit%", "plan%", "p95ms")
+	fmt.Printf("%-8s %4s %6s %5s %5s %7s %7s %7s %8s %7s %6s %7s\n",
+		"time", "run", "queued", "Δsub", "Δfin", "Δreads", "ΔrdMB", "ΔwrMB", "poolHit%", "plan%", "Δswaps", "p95ms")
 	var prev server.Stats
 	have := false
 	tick := time.NewTicker(interval)
@@ -348,14 +362,21 @@ func watchStats(addr string, interval time.Duration) error {
 			if st.DegradedReads > prev.DegradedReads {
 				degraded = fmt.Sprintf("  DEGRADED +%d", st.DegradedReads-prev.DegradedReads)
 			}
-			fmt.Printf("%-8s %4d %6d %5d %5d %7d %7.1f %7.1f %8.1f %7.1f %7.2f%s\n",
+			var dSwaps int64
+			if st.Improver != nil {
+				dSwaps = st.Improver.Swaps
+				if prev.Improver != nil {
+					dSwaps -= prev.Improver.Swaps
+				}
+			}
+			fmt.Printf("%-8s %4d %6d %5d %5d %7d %7.1f %7.1f %8.1f %7.1f %6d %7.2f%s\n",
 				time.Now().Format("15:04:05"),
 				st.Running, st.Queued,
 				st.Submitted-prev.Submitted, st.Finished-prev.Finished,
 				st.Store.ReadReqs-prev.Store.ReadReqs,
 				float64(st.Store.ReadBytes-prev.Store.ReadBytes)/(1<<20),
 				float64(st.Store.WriteBytes-prev.Store.WriteBytes)/(1<<20),
-				st.Pool.HitRate()*100, st.PlanCacheHitRate*100, st.PlanningP95Ms,
+				st.Pool.HitRate()*100, st.PlanCacheHitRate*100, dSwaps, st.PlanningP95Ms,
 				degraded)
 		}
 		prev, have = st, true
@@ -365,6 +386,35 @@ func watchStats(addr string, interval time.Duration) error {
 		case <-tick.C:
 		}
 	}
+}
+
+// printPlannerStats renders the tiered planner's view of one /stats
+// snapshot: per-tier planning latency percentiles, the bounded plan
+// cache, and background improver activity.
+func printPlannerStats(addr string) error {
+	st, err := fetchStats(addr + "/stats")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan cache: %d entries, %d hits / %d misses (%.1f%% hit), %d evictions\n",
+		st.PlanCacheSize, st.PlanCacheHits, st.PlanCacheMisses,
+		st.PlanCacheHitRate*100, st.PlanCacheEvictions)
+	fmt.Printf("%-8s %8s %10s %10s %10s\n", "tier", "plans", "p50ms", "p95ms", "p99ms")
+	for _, tier := range []string{"cache", "greedy", "full"} {
+		ts, ok := st.PlanningTiers[tier]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-8s %8d %10.2f %10.2f %10.2f\n", tier, ts.Count, ts.P50Ms, ts.P95Ms, ts.P99Ms)
+	}
+	if st.Improver == nil {
+		fmt.Println("improver: off")
+		return nil
+	}
+	fmt.Printf("improver: %d runs, %d plans swapped, %d queued, %d dropped, %.0fms background search\n",
+		st.Improver.Runs, st.Improver.Swaps, st.Improver.QueueDepth,
+		st.Improver.Dropped, st.Improver.SearchMs)
+	return nil
 }
 
 // fetchStats decodes one /stats snapshot.

@@ -1,6 +1,8 @@
 package codegen
 
 import (
+	"context"
+
 	"bytes"
 	"encoding/json"
 	"strings"
@@ -42,7 +44,7 @@ func lower(t *testing.T, an *deps.Analysis, s *sched.Searcher, names ...string) 
 			}
 		}
 	}
-	schd, ok := s.FindSchedule(q)
+	schd, ok := s.FindSchedule(context.Background(), q)
 	if !ok {
 		t.Fatalf("combination %v infeasible", names)
 	}

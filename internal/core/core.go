@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -66,6 +67,13 @@ type Result struct {
 
 // Optimize runs the full pipeline on a program whose parameters are bound.
 func Optimize(p *prog.Program, opt Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), p, opt)
+}
+
+// OptimizeCtx is Optimize with cancellation: canceling ctx aborts the
+// Apriori enumeration mid-search and returns the context's error, so
+// shutdown and deadlines can interrupt a multi-minute full search.
+func OptimizeCtx(ctx context.Context, p *prog.Program, opt Options) (*Result, error) {
 	start := time.Now()
 	model := opt.Model
 	if model.ReadBytesPerSec == 0 {
@@ -79,7 +87,7 @@ func Optimize(p *prog.Program, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: analysis: %w", err)
 	}
 	searcher := sched.NewSearcher(an)
-	plans, err := searcher.Search(sched.SearchOptions{MaxCalls: opt.MaxCalls, NoPruning: opt.NoPruning})
+	plans, err := searcher.Search(ctx, sched.SearchOptions{MaxCalls: opt.MaxCalls, NoPruning: opt.NoPruning})
 	if err != nil {
 		return nil, fmt.Errorf("core: search: %w", err)
 	}
@@ -156,6 +164,12 @@ func lowerAndCostAll(an *deps.Analysis, plans []sched.Plan, model disk.Model) ([
 // included. Used by the selected-plan experiments (Figures 4(b), 5(b),
 // 6(b)) and anywhere the caller already knows the plans of interest.
 func OptimizeSubsets(p *prog.Program, opt Options, subsets [][]string) (*Result, error) {
+	return OptimizeSubsetsCtx(context.Background(), p, opt, subsets)
+}
+
+// OptimizeSubsetsCtx is OptimizeSubsets with cancellation plumbed through
+// each FindSchedule call.
+func OptimizeSubsetsCtx(ctx context.Context, p *prog.Program, opt Options, subsets [][]string) (*Result, error) {
 	start := time.Now()
 	model := opt.Model
 	if model.ReadBytesPerSec == 0 {
@@ -191,8 +205,11 @@ func OptimizeSubsets(p *prog.Program, opt Options, subsets [][]string) (*Result,
 		if missing {
 			return nil, fmt.Errorf("core: unknown sharing opportunity in %v (have %v)", names, an.ShareStrings())
 		}
-		schd, ok := searcher.FindSchedule(q)
+		schd, ok := searcher.FindSchedule(ctx, q)
 		if !ok {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: search canceled: %w", err)
+			}
 			return nil, fmt.Errorf("core: combination %v is infeasible", names)
 		}
 		pl := sched.Plan{Shares: idxs, Schedule: schd}
@@ -203,6 +220,77 @@ func OptimizeSubsets(p *prog.Program, opt Options, subsets [][]string) (*Result,
 		res.Plans = append(res.Plans, EvaluatedPlan{
 			Plan: pl, Timeline: tl, Cost: cost.Evaluate(tl, model), Label: pl.Label(an),
 		})
+	}
+	sort.SliceStable(res.Plans, func(i, j int) bool {
+		return res.Plans[i].Cost.IOTimeSec < res.Plans[j].Cost.IOTimeSec
+	})
+	for i := range res.Plans {
+		res.Plans[i].Index = i
+		if res.Best == nil &&
+			(opt.MemCapBytes == 0 || res.Plans[i].Cost.PeakMemoryBytes <= opt.MemCapBytes) {
+			res.Best = &res.Plans[i]
+		}
+	}
+	res.SearchStats = searcher.Stats
+	res.OptimizeTime = time.Since(start)
+	return res, nil
+}
+
+// OptimizeGreedy is the budgeted fast-path optimizer behind the serving
+// tier-2 planner: instead of the Apriori enumeration it runs
+// sched.SearchGreedy, scoring candidates by logical I/O bytes (lowering and
+// costing each tested combination). Canceling ctx mid-search degrades plan
+// quality — the best combination found so far is kept — rather than failing;
+// an error is returned only when analysis fails or not even the no-sharing
+// baseline could be planned before cancellation. The Result has the same
+// shape as Optimize's (Plans sorted by I/O time, Best per MemCapBytes) but
+// typically holds just the baseline and the greedy winner.
+func OptimizeGreedy(ctx context.Context, p *prog.Program, opt Options) (*Result, error) {
+	start := time.Now()
+	model := opt.Model
+	if model.ReadBytesPerSec == 0 {
+		model = disk.PaperModel()
+	}
+	an, err := deps.Analyze(p, deps.Options{
+		BindParams:                opt.BindParams,
+		SkipMultiplicityReduction: opt.SkipMultiplicityReduction,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis: %w", err)
+	}
+	searcher := sched.NewSearcher(an)
+	// Score by lowering + costing; memoize per label so assembling the
+	// Result below reuses the work instead of re-lowering the winners.
+	scored := make(map[string]EvaluatedPlan)
+	score := func(pl sched.Plan) (float64, error) {
+		label := pl.Label(an)
+		if ev, ok := scored[label]; ok {
+			return float64(ev.Cost.LogicalIOBytes()), nil
+		}
+		tl, err := codegen.Lower(an, pl)
+		if err != nil {
+			return 0, fmt.Errorf("core: lowering plan %s: %w", label, err)
+		}
+		c := cost.Evaluate(tl, model)
+		scored[label] = EvaluatedPlan{Plan: pl, Timeline: tl, Cost: c, Label: label}
+		return float64(c.LogicalIOBytes()), nil
+	}
+	plans, err := searcher.SearchGreedy(ctx, sched.GreedyOptions{Score: score, MaxCalls: opt.MaxCalls})
+	if err != nil {
+		return nil, fmt.Errorf("core: greedy search: %w", err)
+	}
+	res := &Result{Analysis: an, Searcher: searcher}
+	for _, pl := range plans {
+		label := pl.Label(an)
+		ev, ok := scored[label]
+		if !ok {
+			tl, err := codegen.Lower(an, pl)
+			if err != nil {
+				return nil, fmt.Errorf("core: lowering plan %s: %w", label, err)
+			}
+			ev = EvaluatedPlan{Plan: pl, Timeline: tl, Cost: cost.Evaluate(tl, model), Label: label}
+		}
+		res.Plans = append(res.Plans, ev)
 	}
 	sort.SliceStable(res.Plans, func(i, j int) bool {
 		return res.Plans[i].Cost.IOTimeSec < res.Plans[j].Cost.IOTimeSec

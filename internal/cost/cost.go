@@ -31,6 +31,15 @@ type ArrayIO struct {
 	ReadBytes, WriteBytes int64
 }
 
+// LogicalIOBytes is the plan's total logical I/O volume (reads plus
+// writes). It is the disk-model-independent scalar the tiered planner uses
+// to rank plans: two plans compare the same under any model whose time is
+// monotone in bytes moved, so the greedy tier can score without committing
+// to a device profile.
+func (c Cost) LogicalIOBytes() int64 {
+	return c.ReadBytes + c.WriteBytes
+}
+
 // Evaluate computes the plan cost from its lowered timeline.
 func Evaluate(tl *codegen.Timeline, model disk.Model) Cost {
 	c := Cost{PerArray: make(map[string]ArrayIO)}

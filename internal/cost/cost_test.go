@@ -1,6 +1,8 @@
 package cost
 
 import (
+	"context"
+
 	"testing"
 
 	"riotshare/internal/codegen"
@@ -36,7 +38,7 @@ func timelineFor(t *testing.T, n1, n2, n3 int64, names ...string) (*codegen.Time
 			}
 		}
 	}
-	schd, ok := s.FindSchedule(q)
+	schd, ok := s.FindSchedule(context.Background(), q)
 	if !ok {
 		t.Fatalf("infeasible %v", names)
 	}

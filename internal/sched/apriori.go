@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -59,21 +60,29 @@ type SearchOptions struct {
 // combinations. A k-subset is considered only if all its (k-1)-subsets were
 // feasible (Lemma 2); each candidate is tested with FindSchedule. It returns
 // one plan per feasible combination, including the empty combination (the
-// no-sharing baseline plan).
-func (s *Searcher) Search(opt SearchOptions) ([]Plan, error) {
+// no-sharing baseline plan). Canceling ctx aborts the enumeration with the
+// context's error, so shutdown and test deadlines can interrupt the
+// potentially minutes-long full search.
+func (s *Searcher) Search(ctx context.Context, opt SearchOptions) ([]Plan, error) {
 	maxCalls := opt.MaxCalls
 	if maxCalls == 0 {
 		maxCalls = 100000
 	}
 	budget := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("sched: search canceled: %w", err)
+		}
 		if s.Stats.FindScheduleCalls > maxCalls {
 			return errf("search exceeded %d FindSchedule calls", maxCalls)
 		}
 		return nil
 	}
 
-	base, ok := s.FindSchedule(nil)
+	base, ok := s.FindSchedule(ctx, nil)
 	if !ok {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sched: search canceled: %w", err)
+		}
 		return nil, errf("no legal schedule exists even without sharing (program %q)", s.Prog.Name)
 	}
 	plans := []Plan{{Shares: nil, Schedule: base}}
@@ -84,7 +93,7 @@ func (s *Searcher) Search(opt SearchOptions) ([]Plan, error) {
 	}
 
 	if opt.NoPruning {
-		return s.searchNoPruning(plans, n, maxCalls)
+		return s.searchNoPruning(ctx, plans, n, maxCalls)
 	}
 
 	// Level 1.
@@ -95,7 +104,7 @@ func (s *Searcher) Search(opt SearchOptions) ([]Plan, error) {
 			return nil, err
 		}
 		q := []int{i}
-		if sch, ok := s.FindSchedule(s.coAccesses(q)); ok {
+		if sch, ok := s.FindSchedule(ctx, s.coAccesses(q)); ok {
 			level = append(level, q)
 			feasible[subsetKey(q)] = q
 			plans = append(plans, Plan{Shares: q, Schedule: sch})
@@ -133,7 +142,7 @@ func (s *Searcher) Search(opt SearchOptions) ([]Plan, error) {
 				if err := budget(); err != nil {
 					return nil, err
 				}
-				if sch, ok := s.FindSchedule(s.coAccesses(cand)); ok {
+				if sch, ok := s.FindSchedule(ctx, s.coAccesses(cand)); ok {
 					next = append(next, cand)
 					feasible[subsetKey(cand)] = cand
 					plans = append(plans, Plan{Shares: cand, Schedule: sch})
@@ -146,8 +155,11 @@ func (s *Searcher) Search(opt SearchOptions) ([]Plan, error) {
 }
 
 // searchNoPruning tests the full power set (ablation baseline).
-func (s *Searcher) searchNoPruning(plans []Plan, n, maxCalls int) ([]Plan, error) {
+func (s *Searcher) searchNoPruning(ctx context.Context, plans []Plan, n, maxCalls int) ([]Plan, error) {
 	for mask := 1; mask < 1<<n; mask++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sched: search canceled: %w", err)
+		}
 		if s.Stats.FindScheduleCalls > maxCalls {
 			return nil, errf("unpruned search exceeded %d FindSchedule calls", maxCalls)
 		}
@@ -157,7 +169,7 @@ func (s *Searcher) searchNoPruning(plans []Plan, n, maxCalls int) ([]Plan, error
 				q = append(q, i)
 			}
 		}
-		if sch, ok := s.FindSchedule(s.coAccesses(q)); ok {
+		if sch, ok := s.FindSchedule(ctx, s.coAccesses(q)); ok {
 			plans = append(plans, Plan{Shares: q, Schedule: sch})
 		}
 	}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sort"
 
 	"riotshare/internal/deps"
@@ -49,7 +50,13 @@ func (s *Searcher) refineSet(f feas, u *polyhedra.Set) (feas, bool) {
 // dimensionality constraints, one time dimension at a time. It returns the
 // schedule (d̃ affine rows plus the trailing constant dimension per
 // statement) or ok=false when the combination is infeasible.
-func (s *Searcher) FindSchedule(q []*deps.CoAccess) (*prog.Schedule, bool) {
+//
+// The search honors ctx between constraint refinements, so a deadline or
+// cancellation aborts mid-search (ok=false); callers that must distinguish
+// "infeasible" from "canceled" check ctx.Err() afterwards. This is what
+// lets the serving tier enforce a wall-clock planning budget and lets
+// server shutdown interrupt a background full search.
+func (s *Searcher) FindSchedule(ctx context.Context, q []*deps.CoAccess) (*prog.Schedule, bool) {
 	s.Stats.FindScheduleCalls++
 	p := s.Prog
 	dt := p.DTilde()
@@ -87,10 +94,16 @@ func (s *Searcher) FindSchedule(q []*deps.CoAccess) (*prog.Schedule, bool) {
 	ki := make(map[int]int)
 
 	for d := 1; d <= dt; d++ {
+		if canceled(ctx) {
+			return nil, false
+		}
 		f := feas{set: universeSet(s.NU), wit: make([]int64, s.NU)}
 		var ok bool
 		// Weakly satisfy remaining dependence constraints (lines 11-12).
 		for _, dep := range remaining {
+			if canceled(ctx) {
+				return nil, false
+			}
 			if f, ok = s.refine(f, s.constraintFor(dep.co, dep.piece, modeWeak)); !ok {
 				return nil, false
 			}
@@ -98,6 +111,9 @@ func (s *Searcher) FindSchedule(q []*deps.CoAccess) (*prog.Schedule, bool) {
 		// Non-self sharing constraints: zero difference at every dimension
 		// (lines 13-14, Table 1).
 		for _, c := range append(append([]*deps.CoAccess(nil), qnw...), qnr...) {
+			if canceled(ctx) {
+				return nil, false
+			}
 			for _, piece := range c.Extent.Ps {
 				if f, ok = s.refine(f, s.constraintFor(c, piece, modeEqZero)); !ok {
 					return nil, false
@@ -137,6 +153,9 @@ func (s *Searcher) FindSchedule(q []*deps.CoAccess) (*prog.Schedule, bool) {
 			}
 		}
 		// Dimensionality constraints (lines 28-38, Algorithm 1).
+		if canceled(ctx) {
+			return nil, false
+		}
 		needIndep := make(map[int]bool)
 		for _, st := range p.Stmts {
 			chosen := false
@@ -221,6 +240,19 @@ func (s *Searcher) FindSchedule(q []*deps.CoAccess) (*prog.Schedule, bool) {
 		return nil, false
 	}
 	return sch, true
+}
+
+// canceled reports whether the context has been canceled or has passed
+// its deadline, without blocking. It is polled between constraint
+// refinements: each refinement involves polyhedral intersection and
+// integer sampling, so the poll is negligible against the work it gates.
+func canceled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // hasNonzeroLoopPart reports whether the feasible space admits a nonzero

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+
 	"testing"
 	"time"
 
@@ -33,7 +35,7 @@ func TestPlanCountsPaperConfigs(t *testing.T) {
 	an := addMulAnalysis(t, addMulN1, addMulN2, 1, true)
 	s := NewSearcher(an)
 	t0 := time.Now()
-	plans, err := s.Search(SearchOptions{})
+	plans, err := s.Search(context.Background(), SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,22 +50,26 @@ func TestPlanCountsPaperConfigs(t *testing.T) {
 	}
 	s2 := NewSearcher(an2)
 	t0 = time.Now()
-	plans2, err := s2.Search(SearchOptions{})
+	plans2, err := s2.Search(context.Background(), SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("twomm: %d opportunities -> %d plans (paper: 40) in %v (%d calls)",
 		len(an2.Shares), len(plans2), time.Since(t0), s2.Stats.FindScheduleCalls)
 
-	// LinReg.
+	// LinReg. The full (non-short) search takes on the order of 80s; give
+	// it its own deadline so a regression fails here with a clear cancel
+	// error instead of hanging the suite until the go test timeout.
 	p3 := ops.LinReg(linreg)
 	an3, err := deps.Analyze(p3, deps.Options{BindParams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s3 := NewSearcher(an3)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
 	t0 = time.Now()
-	plans3, err := s3.Search(linregOpt)
+	plans3, err := s3.Search(ctx, linregOpt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+
 	"testing"
 
 	"riotshare/internal/deps"
@@ -40,7 +42,7 @@ func sharesByName(t *testing.T, an *deps.Analysis, names ...string) []*deps.CoAc
 func TestFindScheduleEmpty(t *testing.T) {
 	an := addMulAnalysis(t, 3, 4, 2, false)
 	s := NewSearcher(an)
-	sch, ok := s.FindSchedule(nil)
+	sch, ok := s.FindSchedule(context.Background(), nil)
 	if !ok {
 		t.Fatal("baseline schedule must exist")
 	}
@@ -56,7 +58,7 @@ func TestFindSchedulePlan7(t *testing.T) {
 	an := addMulAnalysis(t, 3, 4, 2, false)
 	s := NewSearcher(an)
 	q := sharesByName(t, an, "s1WC→s2RC", "s2WE→s2RE", "s2WE→s2WE")
-	sch, ok := s.FindSchedule(q)
+	sch, ok := s.FindSchedule(context.Background(), q)
 	if !ok {
 		t.Fatal("Plan 7 sharing set should be feasible")
 	}
@@ -113,7 +115,7 @@ func TestFindScheduleConflict(t *testing.T) {
 	an := addMulAnalysis(t, 3, 4, 2, false)
 	s := NewSearcher(an)
 	q := sharesByName(t, an, "s2WE→s2RE", "s2RD→s2RD")
-	if _, ok := s.FindSchedule(q); ok {
+	if _, ok := s.FindSchedule(context.Background(), q); ok {
 		t.Fatal("E-accumulation and D-reuse self shares should conflict")
 	}
 }
@@ -123,7 +125,7 @@ func TestFindScheduleConflict(t *testing.T) {
 func TestAprioriAddMulN3Eq1(t *testing.T) {
 	an := addMulAnalysis(t, 12, 12, 1, true)
 	s := NewSearcher(an)
-	plans, err := s.Search(SearchOptions{})
+	plans, err := s.Search(context.Background(), SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,12 +167,12 @@ func TestAprioriAddMulN3Eq1(t *testing.T) {
 func TestAprioriMatchesNoPruning(t *testing.T) {
 	an := addMulAnalysis(t, 3, 3, 1, true)
 	s1 := NewSearcher(an)
-	pruned, err := s1.Search(SearchOptions{})
+	pruned, err := s1.Search(context.Background(), SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s2 := NewSearcher(an)
-	full, err := s2.Search(SearchOptions{NoPruning: true})
+	full, err := s2.Search(context.Background(), SearchOptions{NoPruning: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +214,7 @@ func TestTwoMMKeyPlans(t *testing.T) {
 	s := NewSearcher(an)
 
 	plan2 := sharesByName(t, an, "s1WC→s1RC", "s1WC→s1WC", "s2WE→s2RE", "s2WE→s2WE", "s1RA→s2RA")
-	sch, ok := s.FindSchedule(plan2)
+	sch, ok := s.FindSchedule(context.Background(), plan2)
 	if !ok {
 		t.Fatal("paper Plan 2 (accumulate C,E + share A) should be feasible")
 	}
@@ -221,7 +223,7 @@ func TestTwoMMKeyPlans(t *testing.T) {
 	}
 
 	plan3 := sharesByName(t, an, "s1RA→s2RA", "s1RB→s1RB", "s2RD→s2RD")
-	sch3, ok := s.FindSchedule(plan3)
+	sch3, ok := s.FindSchedule(context.Background(), plan3)
 	if !ok {
 		t.Fatal("paper Plan 3 (share A, B, D) should be feasible")
 	}
@@ -243,7 +245,7 @@ func TestLinRegXSharing(t *testing.T) {
 	}
 	s := NewSearcher(an)
 	good := sharesByName(t, an, "s1RX→s2RX")
-	sch, ok := s.FindSchedule(good)
+	sch, ok := s.FindSchedule(context.Background(), good)
 	if !ok {
 		t.Fatal("sharing X between s1 and s2 should be feasible")
 	}
@@ -251,7 +253,7 @@ func TestLinRegXSharing(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := sharesByName(t, an, "s1RX→s5RX")
-	if _, ok := s.FindSchedule(bad); ok {
+	if _, ok := s.FindSchedule(context.Background(), bad); ok {
 		t.Fatal("sharing X between s1 and s5 must be infeasible (dependence chain)")
 	}
 }
@@ -266,7 +268,7 @@ func TestDepthZeroStatements(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewSearcher(an)
-	sch, ok := s.FindSchedule(nil)
+	sch, ok := s.FindSchedule(context.Background(), nil)
 	if !ok {
 		t.Fatal("baseline schedule must exist for linreg")
 	}
@@ -311,7 +313,7 @@ func TestLegalRejectsBadSchedule(t *testing.T) {
 func TestSearchResultsClosedDownward(t *testing.T) {
 	an := addMulAnalysis(t, 3, 3, 2, true)
 	s := NewSearcher(an)
-	plans, err := s.Search(SearchOptions{})
+	plans, err := s.Search(context.Background(), SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +347,7 @@ func TestEnumRow(t *testing.T) {
 func TestSearchMaxLevel(t *testing.T) {
 	an := addMulAnalysis(t, 3, 3, 1, true)
 	s := NewSearcher(an)
-	plans, err := s.Search(SearchOptions{MaxLevel: 1})
+	plans, err := s.Search(context.Background(), SearchOptions{MaxLevel: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +356,7 @@ func TestSearchMaxLevel(t *testing.T) {
 			t.Fatalf("MaxLevel=1 returned a %d-combination", len(pl.Shares))
 		}
 	}
-	full, err := NewSearcher(an).Search(SearchOptions{})
+	full, err := NewSearcher(an).Search(context.Background(), SearchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +369,7 @@ func TestSearchMaxLevel(t *testing.T) {
 func TestSearchMaxCallsBudget(t *testing.T) {
 	an := addMulAnalysis(t, 3, 3, 2, true)
 	s := NewSearcher(an)
-	if _, err := s.Search(SearchOptions{MaxCalls: 2}); err == nil {
+	if _, err := s.Search(context.Background(), SearchOptions{MaxCalls: 2}); err == nil {
 		t.Fatal("tiny budget should error")
 	}
 }
@@ -376,7 +378,7 @@ func TestSearchMaxCallsBudget(t *testing.T) {
 func TestFarkasCacheHits(t *testing.T) {
 	an := addMulAnalysis(t, 3, 3, 1, true)
 	s := NewSearcher(an)
-	if _, err := s.Search(SearchOptions{}); err != nil {
+	if _, err := s.Search(context.Background(), SearchOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if s.Stats.CacheHits == 0 {

@@ -20,6 +20,8 @@
 package server
 
 import (
+	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -126,6 +128,21 @@ type Config struct {
 	// FullSearch enables the full linreg plan-space search (minutes);
 	// default uses the paper's selected plans.
 	FullSearch bool
+	// PlanBudget, when > 0, enables the tiered planner's greedy fast path
+	// (tier 2): a cache-miss query is planned by the budgeted greedy
+	// search under this wall-clock budget instead of the full Apriori
+	// enumeration. 0 keeps the classic full search on every miss.
+	// Programs with a restricted plan list (linreg without FullSearch)
+	// always use their selected plans. See docs/planner.md.
+	PlanBudget time.Duration
+	// PlanImprover starts the background plan improver (tier 3):
+	// greedy-planned cache entries are re-planned with the full search
+	// off the query path and hot-swapped when strictly better, so
+	// recurring query shapes converge toward full-search plan quality.
+	PlanImprover bool
+	// PlanCacheEntries bounds the plan cache; the least recently used
+	// entry is evicted past the cap (0 = default 256, < 0 = unlimited).
+	PlanCacheEntries int
 	// Programs registers extra named programs next to the built-in
 	// benchmark set (addmul, twomm-a, twomm-b, linreg).
 	Programs map[string]func() *prog.Program
@@ -274,16 +291,56 @@ type Stats struct {
 	PlanCacheMisses int64 `json:"planCacheMisses"`
 	// PlanCacheHitRate is hits / (hits + misses), 0 while idle.
 	PlanCacheHitRate float64 `json:"planCacheHitRate"`
+	// PlanCacheSize is the number of resident plan tables;
+	// PlanCacheEvictions counts entries retired by the LRU bound.
+	PlanCacheSize      int   `json:"planCacheSize"`
+	PlanCacheEvictions int64 `json:"planCacheEvictions,omitempty"`
 	// Planning latency percentiles in milliseconds over every plans()
 	// call (cache hits and misses alike), from the telemetry histogram.
 	PlanningP50Ms float64 `json:"planningP50Ms"`
 	PlanningP95Ms float64 `json:"planningP95Ms"`
 	PlanningP99Ms float64 `json:"planningP99Ms"`
+	// PlanningTiers breaks planning latency down per tier ("cache",
+	// "greedy", "full"); only tiers that served at least one query
+	// appear.
+	PlanningTiers map[string]PlanningTierStats `json:"planningTiers,omitempty"`
+	// Improver reports background plan-improver activity; nil unless
+	// Config.PlanImprover is set.
+	Improver *ImproverStats `json:"improver,omitempty"`
 
 	// Tenants breaks the service down per tenant label (the anonymous
 	// tenant is ""). Nil until a query was submitted.
 	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
+
+// PlanningTierStats is one planner tier's latency distribution.
+type PlanningTierStats struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+}
+
+// ImproverStats reports the background plan improver: full searches run,
+// cached tables hot-swapped with a strictly better one, jobs dropped on a
+// full queue, jobs waiting, and cumulative background search time.
+type ImproverStats struct {
+	Runs       int64   `json:"runs"`
+	Swaps      int64   `json:"swaps"`
+	Dropped    int64   `json:"dropped,omitempty"`
+	QueueDepth int     `json:"queueDepth"`
+	SearchMs   float64 `json:"searchMs"`
+}
+
+// Planner tier labels for riotshare_planning_seconds{tier=...} and
+// Stats.PlanningTiers.
+const (
+	tierCache  = "cache"
+	tierGreedy = "greedy"
+	tierFull   = "full"
+)
+
+var planTiers = []string{tierCache, tierGreedy, tierFull}
 
 // Server is the multi-query analytics service.
 type Server struct {
@@ -306,10 +363,23 @@ type Server struct {
 	finished  int64
 	wg        sync.WaitGroup
 
-	planMu     sync.Mutex
-	planCache  map[string]*planEntry
-	planHits   int64
-	planMisses int64
+	// Plan cache: bounded LRU over planEntry. planLRU's front is the most
+	// recently used entry; eviction walks from the back, skipping entries
+	// whose planning is still in flight.
+	planMu        sync.Mutex
+	planCache     map[string]*planEntry
+	planLRU       *list.List
+	planHits      int64
+	planMisses    int64
+	planEvictions int64
+
+	// Plan improver (tier 3): greedy-planned cache keys are enqueued on
+	// impCh; the loop re-plans them with the full search and hot-swaps
+	// strictly better tables under planMu. Nil/zero when disabled.
+	impCh                         chan improveJob
+	impCancel                     context.CancelFunc
+	impWG                         sync.WaitGroup
+	impRuns, impSwaps, impDropped atomic.Int64
 
 	gov *govern.Governor
 
@@ -329,6 +399,8 @@ type Server struct {
 	reg                              *telemetry.Registry
 	tracer                           *telemetry.Tracer
 	mPlanning                        *telemetry.Histogram
+	mPlanningTier                    *telemetry.HistogramVec // by planner tier
+	mImprove                         *telemetry.Histogram    // nil unless the improver runs
 	mSlowTotal                       *telemetry.Counter
 	mQuery                           *telemetry.HistogramVec // by program
 	mAdmitWait                       *telemetry.HistogramVec // by tenant
@@ -348,8 +420,23 @@ type tenantCounters struct {
 
 type planEntry struct {
 	ready chan struct{}
-	res   *core.Result
-	err   error
+	// res and err are written once before ready closes, but res may be
+	// hot-swapped by the improver afterwards — read them under planMu.
+	res *core.Result
+	err error
+	// key/elem tie the entry into the LRU list; tier records which
+	// planner produced res; improved marks that the improver already
+	// re-planned this entry (successfully or not).
+	key      string
+	elem     *list.Element
+	tier     string
+	improved bool
+}
+
+// improveJob asks the improver to re-plan one cached entry.
+type improveJob struct {
+	key  string
+	prog *prog.Program
 }
 
 type inputState struct {
@@ -444,6 +531,7 @@ func New(cfg Config) (*Server, error) {
 		pool:      pool,
 		queries:   make(map[string]*query),
 		planCache: make(map[string]*planEntry),
+		planLRU:   list.New(),
 		gov:       govern.New(gcfg),
 		tenants:   make(map[string]*tenantCounters),
 		inputs:    make(map[string]*inputState),
@@ -453,6 +541,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mPlanning = reg.Histogram("riotshare_planning_seconds",
 		"Latency of plan-cache lookup or planning per query.", nil)
+	s.mPlanningTier = reg.HistogramVec("riotshare_planning_seconds",
+		"Latency of plan-cache lookup or planning per query.", nil, "tier")
 	s.mSlowTotal = reg.Counter("riotshare_slow_queries_total",
 		"Queries whose wall time met the slow-query threshold.")
 	s.mQuery = reg.HistogramVec("riotshare_query_seconds",
@@ -469,6 +559,15 @@ func New(cfg Config) (*Server, error) {
 		sharded.RegisterMetrics(reg)
 	}
 	s.registerCollectors()
+	if cfg.PlanImprover {
+		s.mImprove = reg.Histogram("riotshare_plan_improver_seconds",
+			"Background full-search planning time per improver run.", nil)
+		ictx, cancel := context.WithCancel(context.Background())
+		s.impCancel = cancel
+		s.impCh = make(chan improveJob, 64)
+		s.impWG.Add(1)
+		go s.improveLoop(ictx)
+	}
 	return s, nil
 }
 
@@ -488,9 +587,18 @@ func (s *Server) registerCollectors() {
 		e.Counter("riotshare_queries_finished_total", "Queries finished (done or failed).", float64(finished))
 		s.planMu.Lock()
 		hits, misses := s.planHits, s.planMisses
+		size, evictions := s.planLRU.Len(), s.planEvictions
 		s.planMu.Unlock()
 		e.Counter("riotshare_plan_cache_hits_total", "Plan cache hits.", float64(hits))
 		e.Counter("riotshare_plan_cache_misses_total", "Plan cache misses (plans computed).", float64(misses))
+		e.Gauge("riotshare_plan_cache_entries", "Plan tables resident in the bounded cache.", float64(size))
+		e.Counter("riotshare_plan_cache_evictions_total", "Plan cache entries retired by the LRU bound.", float64(evictions))
+		if s.impCh != nil {
+			e.Counter("riotshare_plan_improver_runs_total", "Background full-search improver runs.", float64(s.impRuns.Load()))
+			e.Counter("riotshare_plan_improver_swaps_total", "Cached plan tables hot-swapped with a strictly better one.", float64(s.impSwaps.Load()))
+			e.Counter("riotshare_plan_improver_dropped_total", "Improver jobs dropped on a full queue.", float64(s.impDropped.Load()))
+			e.Gauge("riotshare_plan_improver_queue", "Improver jobs waiting.", float64(len(s.impCh)))
+		}
 		e.Counter("riotshare_input_fills_total", "Shared inputs synthesized and written.", float64(s.inputFills.Load()))
 		e.Counter("riotshare_input_fills_skipped_total", "Shared inputs served from the persisted catalog.", float64(s.inputFillsSkipped.Load()))
 		st := s.store.Stats()
@@ -623,10 +731,15 @@ func (s *Server) extraProgramNames() string {
 	return out
 }
 
-// plans optimizes through the plan cache, reporting whether the table
-// came from the cache. The cache key ignores per-query memory caps:
-// plan selection against a cap happens on the cached table.
-func (s *Server) plans(req Request, p *prog.Program, subsets [][]string) (*core.Result, bool, error) {
+// plans optimizes through the tiered planner, reporting which tier served
+// the table: "cache" (tier 1, a resident entry), "greedy" (tier 2, the
+// budgeted fast-path search under Config.PlanBudget), or "full" (the
+// Apriori enumeration — every miss when no budget is set, and all
+// restricted-plan programs). Greedy-planned entries are handed to the
+// background improver, which hot-swaps a strictly better full-search table
+// into the cache off the query path. The cache key ignores per-query
+// memory caps: plan selection against a cap happens on the cached table.
+func (s *Server) plans(req Request, p *prog.Program, subsets [][]string) (*core.Result, string, error) {
 	key := "prog:" + req.Program
 	if req.Spec != nil {
 		key = req.Spec.cacheKey()
@@ -634,22 +747,150 @@ func (s *Server) plans(req Request, p *prog.Program, subsets [][]string) (*core.
 	s.planMu.Lock()
 	if e, ok := s.planCache[key]; ok {
 		s.planHits++
+		s.planLRU.MoveToFront(e.elem)
 		s.planMu.Unlock()
 		<-e.ready
-		return e.res, true, e.err
+		// Re-lock to read the table: the improver may hot-swap res after
+		// the entry became ready.
+		s.planMu.Lock()
+		res, err := e.res, e.err
+		s.planMu.Unlock()
+		return res, tierCache, err
 	}
-	e := &planEntry{ready: make(chan struct{})}
+	e := &planEntry{ready: make(chan struct{}), key: key}
+	e.elem = s.planLRU.PushFront(e)
 	s.planCache[key] = e
 	s.planMisses++
+	s.evictPlansLocked()
 	s.planMu.Unlock()
 
-	if subsets != nil {
-		e.res, e.err = core.OptimizeSubsets(p, core.Options{BindParams: true}, subsets)
-	} else {
-		e.res, e.err = core.Optimize(p, core.Options{BindParams: true})
+	tier := tierFull
+	var res *core.Result
+	var err error
+	switch {
+	case subsets != nil:
+		res, err = core.OptimizeSubsetsCtx(context.Background(), p, core.Options{BindParams: true}, subsets)
+	case s.cfg.PlanBudget > 0:
+		tier = tierGreedy
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PlanBudget)
+		res, err = core.OptimizeGreedy(ctx, p, core.Options{BindParams: true})
+		expired := err != nil && ctx.Err() != nil
+		cancel()
+		if expired {
+			// The budget ran out before even the baseline was planned;
+			// plan just the baseline without a deadline so the query
+			// still runs (and the improver can upgrade it later).
+			res, err = core.OptimizeSubsetsCtx(context.Background(), p, core.Options{BindParams: true}, nil)
+		}
+	default:
+		res, err = core.OptimizeCtx(context.Background(), p, core.Options{BindParams: true})
 	}
+
+	s.planMu.Lock()
+	e.res, e.err = res, err
+	e.tier = tier
+	s.planMu.Unlock()
 	close(e.ready)
-	return e.res, false, e.err
+	if tier == tierGreedy && err == nil {
+		s.enqueueImprove(key, p)
+	}
+	return res, tier, err
+}
+
+// evictPlansLocked enforces the plan cache's LRU bound. Entries whose
+// planning is still in flight are skipped: their waiters hold the entry
+// pointer, and evicting them would duplicate the running search. Callers
+// hold planMu.
+func (s *Server) evictPlansLocked() {
+	max := s.cfg.PlanCacheEntries
+	if max < 0 {
+		return
+	}
+	if max == 0 {
+		max = 256
+	}
+	for el := s.planLRU.Back(); el != nil && s.planLRU.Len() > max; {
+		prev := el.Prev()
+		e := el.Value.(*planEntry)
+		select {
+		case <-e.ready:
+			s.planLRU.Remove(el)
+			delete(s.planCache, e.key)
+			s.planEvictions++
+		default:
+		}
+		el = prev
+	}
+}
+
+// enqueueImprove hands a greedy-planned cache key to the improver. The
+// queue is bounded and non-blocking: under a burst of novel query shapes
+// excess jobs are dropped (counted) rather than stalling the query path.
+func (s *Server) enqueueImprove(key string, p *prog.Program) {
+	if s.impCh == nil {
+		return
+	}
+	s.planMu.Lock()
+	e, ok := s.planCache[key]
+	skip := !ok || e.improved
+	s.planMu.Unlock()
+	if skip {
+		return
+	}
+	select {
+	case s.impCh <- improveJob{key: key, prog: p}:
+	default:
+		s.impDropped.Add(1)
+	}
+}
+
+func (s *Server) improveLoop(ctx context.Context) {
+	defer s.impWG.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-s.impCh:
+			s.improveOne(ctx, job)
+		}
+	}
+}
+
+// improveOne re-plans one greedy-planned cache entry with the full search
+// and hot-swaps the cached table when the full search's best plan does
+// strictly less logical I/O. Swapping the whole *core.Result under planMu
+// is atomic from the readers' side: a query sees either the old table or
+// the new one, never a mix, and queries already running on the old plan
+// are unaffected (their timeline is theirs). ctx cancellation (server
+// Close) aborts the search mid-way.
+func (s *Server) improveOne(ctx context.Context, job improveJob) {
+	s.planMu.Lock()
+	e, ok := s.planCache[job.key]
+	if !ok || e.improved {
+		s.planMu.Unlock()
+		return
+	}
+	e.improved = true
+	s.planMu.Unlock()
+
+	start := time.Now()
+	full, err := core.OptimizeCtx(ctx, job.prog, core.Options{BindParams: true})
+	s.mImprove.ObserveDuration(time.Since(start))
+	s.impRuns.Add(1)
+	if err != nil || len(full.Plans) == 0 {
+		return
+	}
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	e, ok = s.planCache[job.key]
+	if !ok || e.err != nil || e.res == nil || len(e.res.Plans) == 0 {
+		return // evicted or failed meanwhile; nothing to upgrade
+	}
+	if full.Plans[0].Cost.LogicalIOBytes() < e.res.Plans[0].Cost.LogicalIOBytes() {
+		e.res = full
+		e.tier = tierFull
+		s.impSwaps.Add(1)
+	}
 }
 
 // selectPlan picks the forced plan index or the cheapest plan whose peak
@@ -747,10 +988,12 @@ func (s *Server) runQuery(q *query) (retErr error) {
 	}()
 
 	sp := root.Child("planning")
-	res, cached, err := s.plans(q.req, q.prog, q.subsets)
+	res, tier, err := s.plans(q.req, q.prog, q.subsets)
 	sp.End()
 	s.mPlanning.ObserveDuration(sp.Duration())
-	if cached {
+	s.mPlanningTier.With(tier).ObserveDuration(sp.Duration())
+	sp.Annotate("tier", tier)
+	if tier == tierCache {
 		sp.Annotate("cache", "hit")
 	} else {
 		sp.Annotate("cache", "miss")
@@ -1206,18 +1449,21 @@ func (s *Server) Stats() Stats {
 	s.mu.Unlock()
 	s.planMu.Lock()
 	hits, misses := s.planHits, s.planMisses
+	cacheSize, evictions := s.planLRU.Len(), s.planEvictions
 	s.planMu.Unlock()
 	st := Stats{
-		Pool:              s.pool.Stats(),
-		Store:             s.store.Stats(),
-		Running:           running,
-		Queued:            queued,
-		Submitted:         submitted,
-		Finished:          finished,
-		PlanCacheHits:     hits,
-		PlanCacheMisses:   misses,
-		InputFills:        s.inputFills.Load(),
-		InputFillsSkipped: s.inputFillsSkipped.Load(),
+		Pool:               s.pool.Stats(),
+		Store:              s.store.Stats(),
+		Running:            running,
+		Queued:             queued,
+		Submitted:          submitted,
+		Finished:           finished,
+		PlanCacheHits:      hits,
+		PlanCacheMisses:    misses,
+		PlanCacheSize:      cacheSize,
+		PlanCacheEvictions: evictions,
+		InputFills:         s.inputFills.Load(),
+		InputFillsSkipped:  s.inputFillsSkipped.Load(),
 	}
 	if hits+misses > 0 {
 		st.PlanCacheHitRate = float64(hits) / float64(hits+misses)
@@ -1226,6 +1472,30 @@ func (s *Server) Stats() Stats {
 	st.PlanningP50Ms = s.mPlanning.Quantile(0.50) * float64(time.Second) / ms
 	st.PlanningP95Ms = s.mPlanning.Quantile(0.95) * float64(time.Second) / ms
 	st.PlanningP99Ms = s.mPlanning.Quantile(0.99) * float64(time.Second) / ms
+	for _, tier := range planTiers {
+		h := s.mPlanningTier.With(tier)
+		if h.Count() == 0 {
+			continue
+		}
+		if st.PlanningTiers == nil {
+			st.PlanningTiers = make(map[string]PlanningTierStats, len(planTiers))
+		}
+		st.PlanningTiers[tier] = PlanningTierStats{
+			Count: h.Count(),
+			P50Ms: h.Quantile(0.50) * float64(time.Second) / ms,
+			P95Ms: h.Quantile(0.95) * float64(time.Second) / ms,
+			P99Ms: h.Quantile(0.99) * float64(time.Second) / ms,
+		}
+	}
+	if s.impCh != nil {
+		st.Improver = &ImproverStats{
+			Runs:       s.impRuns.Load(),
+			Swaps:      s.impSwaps.Load(),
+			Dropped:    s.impDropped.Load(),
+			QueueDepth: len(s.impCh),
+			SearchMs:   s.mImprove.Sum() * float64(time.Second) / ms,
+		}
+	}
 	if s.sharded != nil {
 		st.Shards = s.sharded.ShardStats()
 		st.Replicas = s.sharded.Replicas()
@@ -1291,6 +1561,13 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.gov.Close()
 	s.wg.Wait()
+	// Stop the improver after the last query drained: cancellation aborts
+	// a running background search via the ctx plumbed through the core
+	// search loop.
+	if s.impCancel != nil {
+		s.impCancel()
+		s.impWG.Wait()
+	}
 	err := s.pool.Flush()
 	if cerr := s.store.Close(); err == nil {
 		err = cerr

@@ -153,6 +153,15 @@ func OptimizeSubsets(p *Program, opt Options, subsets [][]string) (*Result, erro
 	return core.OptimizeSubsets(p, opt, subsets)
 }
 
+// OptimizeGreedy is the budgeted fast-path optimizer (the server's tier-2
+// planner): a greedy cost-ordered accretion over sharing opportunities that
+// runs O(n) schedule searches instead of the Apriori enumeration's
+// exponential worst case. Canceling ctx mid-search keeps the best plan
+// found so far rather than failing. See docs/planner.md.
+func OptimizeGreedy(ctx context.Context, p *Program, opt Options) (*Result, error) {
+	return core.OptimizeGreedy(ctx, p, opt)
+}
+
 // OptimizeBlockSize co-optimizes array block sizes with I/O sharing (the
 // §7 future-work extension).
 var OptimizeBlockSize = core.OptimizeBlockSize
