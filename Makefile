@@ -32,9 +32,12 @@ bench:
 # latency) into BENCH_remote.json, the telemetry overhead benchmark
 # (instrumented vs no-op registry on the pipelined exec path — the two
 # must stay within a few percent of each other) into BENCH_telemetry.json,
-# and the three-tier planner benchmark (full Apriori search vs budgeted
-# greedy vs warm cache-served query) into BENCH_planner.json.
-# CI uploads all seven as artifacts and gates on them via bench-check.
+# the three-tier planner benchmark (full Apriori search vs budgeted
+# greedy vs warm cache-served query) into BENCH_planner.json, and the
+# streamed-results delivery benchmark (a result 4x the pool's capacity
+# streamed with flat pool residency — the benchmark itself fails if the
+# pool's high-water mark exceeds capacity) into BENCH_stream.json.
+# CI uploads all eight as artifacts and gates on them via bench-check.
 # Each step runs separately so a failing benchmark fails the target.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelExec' -benchtime 3x . > .bench-exec.txt
@@ -52,7 +55,9 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_telemetry.json < .bench-telemetry.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkPlannerTiers' -benchtime 3x . > .bench-planner.txt
 	$(GO) run ./cmd/benchjson -out BENCH_planner.json < .bench-planner.txt
-	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt .bench-shard.txt .bench-replica.txt .bench-remote.txt .bench-telemetry.txt .bench-planner.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamedResults' -benchtime 20x . > .bench-stream.txt
+	$(GO) run ./cmd/benchjson -out BENCH_stream.json < .bench-stream.txt
+	@rm -f .bench-exec.txt .bench-pool.txt .bench-cache.txt .bench-shard.txt .bench-replica.txt .bench-remote.txt .bench-telemetry.txt .bench-planner.txt .bench-stream.txt
 
 # Bench-regression gate: stash the committed baselines, rerun the
 # benchmarks, and fail on a >25% ns/op regression against any baseline.
@@ -60,7 +65,7 @@ bench-json:
 # baseline deliberately.
 bench-check:
 	@mkdir -p .bench-base
-	cp BENCH_pool.json BENCH_cache.json BENCH_shard.json BENCH_replica.json BENCH_remote.json BENCH_telemetry.json BENCH_planner.json .bench-base/
+	cp BENCH_pool.json BENCH_cache.json BENCH_shard.json BENCH_replica.json BENCH_remote.json BENCH_telemetry.json BENCH_planner.json BENCH_stream.json .bench-base/
 	$(MAKE) bench-json
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_pool.json BENCH_pool.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_cache.json BENCH_cache.json -tolerance 0.25
@@ -69,13 +74,17 @@ bench-check:
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_remote.json BENCH_remote.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_telemetry.json BENCH_telemetry.json -tolerance 0.25
 	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_planner.json BENCH_planner.json -tolerance 0.25
+	$(GO) run ./cmd/benchjson -compare .bench-base/BENCH_stream.json BENCH_stream.json -tolerance 0.25
 	@rm -rf .bench-base
 
 # Godoc completeness over the public surface: the facade, the planner
 # (core/sched/cost), the storage and server layers, and the network
-# plane. CI fails on any exported identifier without a doc comment.
+# plane. CI fails on any exported identifier without a doc comment, and
+# on any relative markdown link in README/docs pointing at a missing
+# file.
 doc-check:
 	$(GO) run ./cmd/doccheck . ./internal/core ./internal/sched ./internal/cost ./internal/storage ./internal/server ./internal/blockd ./internal/blockproto ./internal/telemetry
+	$(GO) run ./cmd/doccheck -links README.md docs
 
 # End-to-end fleet smoke test: 4 riotblockd + riotshared, query, kill a
 # server, repair, restart against the persisted catalog.

@@ -10,6 +10,16 @@
 // It parses with go/ast only (no type checking, no build), skips _test.go
 // files, and exits 1 listing every undocumented identifier as
 // file:line: name.
+//
+// With -links it instead checks markdown cross-references: every relative
+// link target in the given files (directories are scanned for *.md,
+// non-recursive) must exist on disk, so renaming or deleting a doc page
+// breaks CI instead of leaving dead links behind:
+//
+//	doccheck -links README.md docs
+//
+// http(s) and mailto links and same-file #anchors are skipped; a
+// #fragment on a relative link is stripped before the existence check.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -26,8 +37,12 @@ import (
 func main() {
 	args := os.Args[1:]
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir> [...]")
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir> [...] | doccheck -links <markdown file or dir> [...]")
 		os.Exit(2)
+	}
+	if args[0] == "-links" {
+		runLinks(args[1:])
+		return
 	}
 	var missing []string
 	for _, dir := range args {
@@ -46,6 +61,85 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) missing doc comments\n", len(missing))
 		os.Exit(1)
 	}
+}
+
+// runLinks is the -links mode: it exits 1 listing every relative
+// markdown link whose target file does not exist.
+func runLinks(paths []string) {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck -links <markdown file or dir> [...]")
+		os.Exit(2)
+	}
+	broken, err := checkLinks(paths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if len(broken) > 0 {
+		sort.Strings(broken)
+		for _, b := range broken {
+			fmt.Println(b)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d dead relative link(s)\n", len(broken))
+		os.Exit(1)
+	}
+}
+
+// linkRe matches the target of a markdown inline link or image,
+// "](target)"; reference-style definitions are rare enough here not to
+// warrant a full parser.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks scans each markdown file (directories non-recursively for
+// *.md) and returns "file:line: dead link target" for every relative
+// link that does not resolve to an existing file or directory.
+func checkLinks(paths []string) ([]string, error) {
+	var files []string
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+				files = append(files, filepath.Join(p, e.Name()))
+			}
+		}
+	}
+	var broken []string
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				if idx := strings.IndexByte(target, '#'); idx >= 0 {
+					target = target[:idx]
+				}
+				if target == "" {
+					continue // same-file anchor
+				}
+				resolved := filepath.Join(filepath.Dir(f), target)
+				if _, err := os.Stat(resolved); err != nil {
+					broken = append(broken, fmt.Sprintf("%s:%d: dead link %q", filepath.ToSlash(f), i+1, m[1]))
+				}
+			}
+		}
+	}
+	return broken, nil
 }
 
 // checkDir parses every non-test .go file in dir (non-recursive, like a Go

@@ -19,6 +19,7 @@
 //	riotshared submit  -addr http://localhost:8377 -spec program.json
 //	riotshared status  -addr http://localhost:8377 -id q1
 //	riotshared results -addr http://localhost:8377 -id q1 -wait
+//	riotshared results -addr http://localhost:8377 -id q1 -stream -stream-chunk-blocks 8
 //	riotshared stats   -addr http://localhost:8377 -tenant acme
 //	riotshared stats   -addr http://localhost:8377 -watch 2s   # live delta view
 //	riotshared stats   -addr http://localhost:8377 -planner    # planner tiers + improver
@@ -45,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"riotshare/internal/blockproto"
 	"riotshare/internal/govern"
 	"riotshare/internal/server"
 	"riotshare/internal/storage"
@@ -263,6 +265,8 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 		tenant   = fs.String("tenant", "", "tenant label (submit: governor fairness + pool quotas; stats: filter)")
 		id       = fs.String("id", "", "query id (status, results, trace)")
 		wait     = fs.Bool("wait", false, "block until the query finishes (results)")
+		stream   = fs.Bool("stream", false, "stream the output blocks from /results/stream instead of fetching the JSON summary; delivery begins before the query finishes (results)")
+		chunkBlk = fs.Int("stream-chunk-blocks", 0, "output blocks per streamed chunk, 0 = server default (results -stream)")
 		shard    = fs.Int("shard", -1, "shard index to re-mirror from its replicas (repair)")
 		watch    = fs.Duration("watch", 0, "poll /stats at this interval and render counter deltas (stats)")
 		planner  = fs.Bool("planner", false, "render per-tier planning percentiles and improver activity (stats)")
@@ -304,6 +308,9 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 		if *id == "" {
 			return fmt.Errorf("-id required")
 		}
+		if *stream {
+			return streamResults(*addr, *id, *chunkBlk)
+		}
 		url := *addr + "/results?id=" + *id
 		if *wait {
 			url += "&wait=1"
@@ -336,6 +343,95 @@ func client(sub string, fs *flag.FlagSet, args []string) error {
 		return do(http.MethodPost, fmt.Sprintf("%s/repair?shard=%d", *addr, *shard), nil)
 	}
 	return nil
+}
+
+// streamResults consumes GET /results/stream in binary mode, decoding
+// the blockproto frames as they arrive and printing one summary line
+// per output array. Sums accumulate in frame-arrival order — blocks
+// row-major across the grid, elements row-major within each block —
+// which is exactly the order the server sums for OutputInfo.Sum, so
+// the printed sum is bit-identical to the "sum" field of a whole
+// /results fetch (both are rendered through encoding/json).
+func streamResults(addr, id string, chunkBlocks int) error {
+	u := addr + "/results/stream?id=" + url.QueryEscape(id)
+	if chunkBlocks > 0 {
+		u += "&chunk=" + strconv.Itoa(chunkBlocks)
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		os.Stdout.Write(out)
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	type arrayAgg struct {
+		blocks int
+		bytes  int64
+		sum    float64
+	}
+	aggs := map[string]*arrayAgg{}
+	var order []string
+	for {
+		_, kind, payload, err := blockproto.ReadFrame(resp.Body)
+		if err != nil {
+			return fmt.Errorf("read stream frame: %w", err)
+		}
+		d := blockproto.NewDec(payload)
+		switch kind {
+		case server.StreamFrameArray:
+			name := d.Str()
+			br, bc := d.U32(), d.U32()
+			gr, gc := d.U32(), d.U32()
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("array frame: %w", err)
+			}
+			aggs[name] = &arrayAgg{}
+			order = append(order, name)
+			fmt.Printf("array %s: %dx%d grid of %dx%d blocks\n", name, gr, gc, br, bc)
+		case server.StreamFrameBlock:
+			name := d.Str()
+			d.I64() // block row
+			d.I64() // block col
+			rows, cols := int(d.U32()), int(d.U32())
+			blob := d.Blob()
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("block frame: %w", err)
+			}
+			blk, err := blockproto.DecodeBlock(rows, cols, blob)
+			if err != nil {
+				return err
+			}
+			a := aggs[name]
+			if a == nil {
+				return fmt.Errorf("block frame for unannounced array %q", name)
+			}
+			a.blocks++
+			a.bytes += int64(len(blob))
+			for _, v := range blk.Data {
+				a.sum += v
+			}
+		case server.StreamFrameEnd:
+			arrays, blocks := d.U32(), d.U32()
+			total := d.I64()
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("end frame: %w", err)
+			}
+			for _, name := range order {
+				a := aggs[name]
+				sum, _ := json.Marshal(a.sum)
+				fmt.Printf("array %s: %d blocks, %d bytes, sum %s\n", name, a.blocks, a.bytes, sum)
+			}
+			fmt.Printf("stream end: %d arrays, %d blocks, %d bytes\n", arrays, blocks, total)
+			return nil
+		case server.StreamFrameError:
+			return fmt.Errorf("stream failed: %s", d.Str())
+		default:
+			return fmt.Errorf("unexpected stream frame kind 0x%02x", kind)
+		}
+	}
 }
 
 // watchStats polls /stats and renders one delta line per tick: running

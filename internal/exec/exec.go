@@ -66,6 +66,16 @@ type Engine struct {
 	// memory. Pool frames are pinned for the plan's hold intervals.
 	// Logical I/O accounting (Result) is identical either way.
 	Pool BlockPool
+	// OnBlockWritten, when non-nil, is invoked once per written block
+	// right after the block's final physical write completes — from that
+	// moment its value is durable through Pool/Store and safe to read
+	// while later pipeline stages still run (WAW and dataflow edges order
+	// every earlier write before the final one). The multi-query server
+	// uses it to begin streaming finished output blocks early. Calls may
+	// come from worker goroutines; the callback must be cheap and safe
+	// for concurrent use. Blocks whose last write never reaches disk
+	// (transient, memory-only state) produce no call.
+	OnBlockWritten func(array string, r, c int64)
 }
 
 // buffered is one memory-resident block.
@@ -78,6 +88,11 @@ type buffered struct {
 func (e *Engine) Run(tl *codegen.Timeline) (Result, error) {
 	var res Result
 	p := tl.Prog
+
+	var finalize [][]blockRef
+	if e.OnBlockWritten != nil {
+		finalize = finalWrites(tl)
+	}
 
 	// Pool pins owned by this run: one per block acquired at each event,
 	// reduced to a single hold-scoped pin while the block's hold interval
@@ -256,9 +271,57 @@ func (e *Engine) Run(tl *codegen.Timeline) (Result, error) {
 				pins.drop(key, 0)
 			}
 		}
+
+		// Announce blocks whose final physical write was this event.
+		if finalize != nil {
+			for _, br := range finalize[i] {
+				e.OnBlockWritten(br.array, br.r, br.c)
+			}
+		}
 	}
 	res.SimulatedIOSec = e.Model.Time(res.ReadBytes, res.WriteBytes, res.ReadReqs, res.WriteReqs)
 	return res, nil
+}
+
+// blockRef names one block of one array.
+type blockRef struct {
+	array string
+	r, c  int64
+}
+
+// finalWrites maps each event index to the blocks whose final write the
+// event performs and persists (the last write access of the block across
+// the whole timeline, with action DoIO — through the pool that is a
+// deferred dirty install, directly it is the disk write itself). After
+// such an event completes, the block's value is final and readable; both
+// engines drive Engine.OnBlockWritten off these lists. Blocks whose last
+// write stays memory-only are omitted.
+func finalWrites(tl *codegen.Timeline) [][]blockRef {
+	type lastWrite struct {
+		event int
+		doIO  bool
+		ref   blockRef
+	}
+	last := make(map[string]lastWrite)
+	for i, set := range tl.AccessSets() {
+		for _, ba := range set {
+			if ba.Type != prog.Write || ba.Action == codegen.Inactive {
+				continue
+			}
+			last[ba.Key] = lastWrite{
+				event: i,
+				doIO:  ba.Action == codegen.DoIO,
+				ref:   blockRef{array: ba.Array, r: ba.R, c: ba.C},
+			}
+		}
+	}
+	out := make([][]blockRef, len(tl.Events))
+	for _, lw := range last {
+		if lw.doIO {
+			out[lw.event] = append(out[lw.event], lw.ref)
+		}
+	}
+	return out
 }
 
 // blockBytesOf resolves the logical byte size of a block key by searching

@@ -463,6 +463,10 @@ type runState struct {
 	// after the run returns.
 	pfWG sync.WaitGroup
 
+	// finalize[i] lists blocks whose final physical write is event i
+	// (nil when the engine has no OnBlockWritten callback).
+	finalize [][]blockRef
+
 	cancel  chan struct{}
 	failErr error
 	once    sync.Once
@@ -525,6 +529,9 @@ func (e *Engine) runParallel(tl *codegen.Timeline, opt Options) (Result, error) 
 		slots:      make(chan struct{}, max(depth, 1)),
 		cancel:     make(chan struct{}),
 		stageNanos: make(map[string]int64),
+	}
+	if e.OnBlockWritten != nil {
+		rs.finalize = finalWrites(tl)
 	}
 	defer rs.ivPins.releaseAll()
 	for _, req := range pp.prefetch {
@@ -848,5 +855,14 @@ func (rs *runState) execEvent(i int) error {
 		}
 	}
 	rs.mu.Unlock()
+
+	// Announce blocks whose final physical write was this event. The WAW
+	// and dataflow edges ordered every earlier write before it, so the
+	// value observed through Pool/Store from here on is final.
+	if rs.finalize != nil {
+		for _, br := range rs.finalize[i] {
+			rs.e.OnBlockWritten(br.array, br.r, br.c)
+		}
+	}
 	return nil
 }

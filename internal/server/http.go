@@ -16,8 +16,17 @@ import (
 //	POST /submit          {"program":"addmul","memCapMB":1000,...} or {"spec":{...}}
 //	                      → 202 {"id":"q1","state":"queued"}
 //	GET  /status?id=q1    → QueryStatus
-//	GET  /results?id=q1   → final QueryStatus; blocks until done with ?wait=1,
+//	GET  /results?id=q1   → final QueryStatus; blocks until done with ?wait=1
+//	                        (the wait honors request-context cancellation),
 //	                        409 while the query is still queued/running otherwise
+//	GET  /results/stream?id=q1
+//	                      → the query's output blocks streamed one at a time
+//	                        straight out of the buffer pool: binary blockproto
+//	                        frames by default, ?format=ndjson for one JSON
+//	                        object per line. Streams begin before the query
+//	                        finishes (early delivery) and retire delivered
+//	                        frames (?retain=evict|keep|drop, ?chunk=N). See
+//	                        docs/streaming.md
 //	GET  /queries         → every query, submission order
 //	GET  /stats           → Stats (pool hit rates, physical I/O, admission,
 //	                        plan cache incl. hit rate and planning latency
@@ -47,6 +56,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/submit", s.handleSubmit)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/results", s.handleResults)
+	mux.HandleFunc("/results/stream", s.handleResultsStream)
 	mux.HandleFunc("/queries", s.handleQueries)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -117,7 +127,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
 	if r.URL.Query().Get("wait") != "" {
-		st, err := s.Wait(id)
+		// Wait under the request context: a client that disconnects stops
+		// holding the handler (and, once ready, the materialized result)
+		// alive for a query nobody is waiting on.
+		st, err := s.WaitCtx(r.Context(), id)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return // client gone; nothing to write
+		}
 		if err != nil {
 			writeErr(w, r, http.StatusNotFound, err)
 			return

@@ -230,6 +230,10 @@ type query struct {
 	alias          map[string]string
 	outputsDropped bool
 
+	// stream tracks per-output-block completion so /results/stream can
+	// deliver finished blocks while later pipeline stages still run.
+	stream *streamState
+
 	status QueryStatus
 	done   chan struct{}
 }
@@ -307,6 +311,10 @@ type Stats struct {
 	// Improver reports background plan-improver activity; nil unless
 	// Config.PlanImprover is set.
 	Improver *ImproverStats `json:"improver,omitempty"`
+
+	// Streams reports the streamed result delivery path (/results/stream):
+	// active streams, finished ones by outcome, and delivered totals.
+	Streams StreamStats `json:"streams"`
 
 	// Tenants breaks the service down per tenant label (the anonymous
 	// tenant is ""). Nil until a query was submitted.
@@ -408,6 +416,20 @@ type Server struct {
 	mPrefetchIssued, mPrefetchInline *telemetry.Counter
 	slowMu                           sync.Mutex
 	slowLog                          io.Writer
+
+	// Streamed result delivery (stream.go): lifetime counters mirrored
+	// into Stats.Streams and the riotshare_stream_* metric families.
+	streamActive    atomic.Int64
+	streamCompleted atomic.Int64
+	streamCanceled  atomic.Int64
+	streamErrors    atomic.Int64
+	streamBlocks64  atomic.Int64
+	streamBytes64   atomic.Int64
+	mStreamBlocks   *telemetry.Counter
+	mStreamBytes    *telemetry.Counter
+	mStreamActive   *telemetry.Gauge
+	mStreamSeconds  *telemetry.Histogram
+	mStreamOutcome  map[string]*telemetry.Counter // by outcome label
 }
 
 // tenantCounters aggregates one tenant's submission lifecycle on the
@@ -554,6 +576,19 @@ func New(cfg Config) (*Server, error) {
 		"Prefetchable reads issued ahead of use by the async prefetcher.")
 	s.mPrefetchInline = reg.Counter("riotshare_prefetch_inline_total",
 		"Prefetchable reads a consumer claimed inline (prefetch too late).")
+	s.mStreamBlocks = reg.Counter("riotshare_stream_blocks_total",
+		"Output blocks delivered over streamed results.")
+	s.mStreamBytes = reg.Counter("riotshare_stream_bytes_total",
+		"Output payload bytes delivered over streamed results.")
+	s.mStreamActive = reg.Gauge("riotshare_streams_active",
+		"Result streams currently on the wire.")
+	s.mStreamSeconds = reg.Histogram("riotshare_stream_seconds",
+		"Wall time of one result stream, open to last frame.", nil)
+	s.mStreamOutcome = make(map[string]*telemetry.Counter, 3)
+	for _, outcome := range []string{"done", "canceled", "error"} {
+		s.mStreamOutcome[outcome] = reg.Counter("riotshare_streams_total",
+			"Finished result streams by outcome.", telemetry.L("outcome", outcome))
+	}
 	pool.RegisterMetrics(reg)
 	if sharded != nil {
 		sharded.RegisterMetrics(reg)
@@ -655,6 +690,7 @@ func (s *Server) Submit(req Request) (string, error) {
 		req:     req,
 		prog:    p,
 		subsets: subsets,
+		stream:  newStreamState(),
 		done:    make(chan struct{}),
 	}
 	q.status = QueryStatus{
@@ -1041,6 +1077,8 @@ func (s *Server) runQuery(q *query) (retErr error) {
 		s.dropOutputs(q)
 		return err
 	}
+	// The output namespace exists: streams may start resolving blocks.
+	q.stream.noteAlias()
 	workers, prefetch := s.cfg.Workers, s.cfg.PrefetchDepth
 	if q.req.Workers > 0 {
 		workers = q.req.Workers
@@ -1053,6 +1091,9 @@ func (s *Server) runQuery(q *query) (retErr error) {
 		Model:       disk.PaperModel(),
 		MemCapBytes: q.req.MemCapMB << 20,
 		Pool:        s.pool.TenantSession(q.req.Tenant, alias),
+		// Early streamed delivery: each output block's final write wakes
+		// any /results/stream waiting on it.
+		OnBlockWritten: q.stream.noteBlock,
 	}
 	sp = root.Child("exec")
 	r, err := eng.RunOptions(pl.Timeline, exec.Options{Workers: workers, PrefetchDepth: prefetch})
@@ -1316,8 +1357,13 @@ func FillInput(m storage.Backend, arr *prog.Array, seed int64) error {
 	return nil
 }
 
-// collectOutputs reads back the query's persistent outputs and summarizes
-// them.
+// collectOutputs summarizes the query's persistent outputs one block at a
+// time — never materializing a full output matrix, so the server's
+// resident memory stays bounded by one block regardless of result size
+// (the same discipline the streamed delivery path follows). The summation
+// order (row-major blocks, row-major elements within each block) matches
+// the streamed frame order, so a streaming client accumulating in arrival
+// order reproduces Sum bit for bit.
 func (s *Server) collectOutputs(q *query, alias map[string]string) ([]OutputInfo, error) {
 	names := make([]string, 0, len(alias))
 	for name := range alias {
@@ -1330,17 +1376,22 @@ func (s *Server) collectOutputs(q *query, alias map[string]string) ([]OutputInfo
 		if arr == nil || arr.Transient {
 			continue
 		}
-		full, err := readFullArray(s.store, arr, alias[name])
-		if err != nil {
-			return nil, err
-		}
 		sum := 0.0
-		for _, v := range full.Data {
-			sum += v
+		for br := 0; br < arr.GridRows; br++ {
+			for bc := 0; bc < arr.GridCols; bc++ {
+				blk, err := s.store.ReadBlock(alias[name], int64(br), int64(bc))
+				if err != nil {
+					return nil, err
+				}
+				for _, v := range blk.Data {
+					sum += v
+				}
+			}
 		}
 		outs = append(outs, OutputInfo{
 			Array: name, Physical: alias[name],
-			Rows: full.Rows, Cols: full.Cols, Sum: sum,
+			Rows: arr.BlockRows * arr.GridRows, Cols: arr.BlockCols * arr.GridCols,
+			Sum: sum,
 		})
 	}
 	return outs, nil
@@ -1416,13 +1467,26 @@ func (q *query) statusCopy() QueryStatus {
 
 // Wait blocks until the query finishes and returns its final status.
 func (s *Server) Wait(id string) (QueryStatus, error) {
+	return s.WaitCtx(context.Background(), id)
+}
+
+// WaitCtx blocks until the query finishes or ctx is canceled; on
+// cancellation it returns ctx's error without waiting further. The HTTP
+// /results?wait=1 path waits under the request context, so a client that
+// went away stops holding the handler (and the materialized result)
+// alive.
+func (s *Server) WaitCtx(ctx context.Context, id string) (QueryStatus, error) {
 	s.mu.Lock()
 	q, ok := s.queries[id]
 	s.mu.Unlock()
 	if !ok {
 		return QueryStatus{}, fmt.Errorf("server: unknown query %q", id)
 	}
-	<-q.done
+	select {
+	case <-q.done:
+	case <-ctx.Done():
+		return QueryStatus{}, ctx.Err()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return q.statusCopy(), nil
@@ -1464,6 +1528,7 @@ func (s *Server) Stats() Stats {
 		PlanCacheEvictions: evictions,
 		InputFills:         s.inputFills.Load(),
 		InputFillsSkipped:  s.inputFillsSkipped.Load(),
+		Streams:            s.streamStats(),
 	}
 	if hits+misses > 0 {
 		st.PlanCacheHitRate = float64(hits) / float64(hits+misses)

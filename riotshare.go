@@ -371,6 +371,31 @@ type ServerStats = server.Stats
 // ServerTenantStats is one tenant's slice of the service counters.
 type ServerTenantStats = server.TenantStats
 
+// StreamStats reports the streamed result delivery path (/results/stream):
+// active streams, finished streams by outcome, and delivered block/byte
+// totals. See docs/streaming.md.
+type StreamStats = server.StreamStats
+
+// Stream frame kinds for the binary /results/stream wire format: the
+// "kind" byte of each blockproto-framed message (array header, block,
+// end-of-stream, in-band error). The frame layout is specified in
+// docs/streaming.md.
+const (
+	StreamFrameArray = server.StreamFrameArray
+	StreamFrameBlock = server.StreamFrameBlock
+	StreamFrameEnd   = server.StreamFrameEnd
+	StreamFrameError = server.StreamFrameError
+)
+
+// Stream retention modes (?retain= on /results/stream): retire delivered
+// pool frames (evict, the default), keep them cached, or additionally
+// drop the query's output stores after a complete stream.
+const (
+	StreamRetainEvict = server.RetainEvict
+	StreamRetainKeep  = server.RetainKeep
+	StreamRetainDrop  = server.RetainDrop
+)
+
 // NewServer creates a multi-query service with its own shared storage
 // manager and buffer pool.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }

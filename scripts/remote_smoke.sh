@@ -3,7 +3,11 @@
 #
 #   1. boot 4 riotblockd servers (one shard root each) + riotshared
 #      striping over them with 2-way replication and persistence,
-#   2. run a query end to end and verify it succeeds,
+#   2. run a query end to end and verify it succeeds, then stream the
+#      same query's result through GET /results/stream via the CLI and
+#      verify the streamed sum is byte-identical to the whole-fetch
+#      /results sum and that riotshare_stream_blocks_total went
+#      positive on /metrics,
 #   3. kill one riotblockd and verify the same query still succeeds via
 #      degraded reads (degradedReads > 0 in /stats), that /metrics on
 #      riotshared parses as Prometheus text exposition with
@@ -118,7 +122,22 @@ done
 start_shared
 
 echo "== query end to end on the healthy fleet"
-submit_query >/dev/null
+qid=$(submit_query)
+
+echo "== streamed results must match the whole fetch bit for bit"
+whole_sum=$(curl -sf "$ADDR/results?id=$qid" |
+    sed -n 's/.*"sum": *\([^,}]*\).*/\1/p' | head -1)
+[ -n "$whole_sum" ] || fail "no output sum in /results for $qid"
+stream_sum=$("$BIN/riotshared" results -addr "$ADDR" -id "$qid" \
+    -stream -stream-chunk-blocks 4 |
+    sed -n 's/.* blocks, .* bytes, sum \(.*\)$/\1/p' | head -1)
+[ -n "$stream_sum" ] || fail "streamed fetch of $qid printed no sum"
+[ "$stream_sum" = "$whole_sum" ] ||
+    fail "streamed sum '$stream_sum' != whole-fetch sum '$whole_sum'"
+metrics_get "$ADDR/metrics" |
+    awk '/^riotshare_stream_blocks_total/ {s += $NF} END {exit !(s > 0)}' ||
+    fail "expected riotshare_stream_blocks_total > 0 after a stream"
+echo "   streamed sum=$stream_sum"
 
 echo "== /metrics on riotshared and the shard-0 riotblockd sidecar"
 metrics_get "$ADDR/metrics" | grep -q '^riotshare_query_seconds_count' ||
