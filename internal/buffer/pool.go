@@ -347,24 +347,58 @@ func (p *Pool) Unpin(array string, r, c int64, n int) {
 func (p *Pool) ReleaseBlock(array string, r, c int64) error {
 	key := poolKey(array, r, c)
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	f, ok := p.frames[key]
 	if !ok || f.loading != nil {
+		p.mu.Unlock()
 		return nil
 	}
 	if f.dirty {
-		if err := p.store.WriteBlock(f.array, f.r, f.c, f.blk); err != nil {
-			return fmt.Errorf("buffer: release %s: %w", key, err)
+		// Write back outside the pool lock: release runs once per
+		// delivered block on the streaming path, and holding p.mu across a
+		// potentially networked WriteBlock would stall every concurrent
+		// pool operation for its duration. A temporary pin keeps the frame
+		// resident and out of the eviction order while the lock is down.
+		blk := f.blk
+		f.pins++
+		p.policy.remove(f)
+		p.mu.Unlock()
+		err := p.store.WriteBlock(f.array, f.r, f.c, blk)
+		p.mu.Lock()
+		f.pins--
+		// A concurrent re-Put swaps the frame's block pointer and its
+		// fresh data must stay dirty; only the unchanged frame is cleaned.
+		if err == nil && f.blk == blk {
+			f.dirty = false
+			p.writebacks++
 		}
-		f.dirty = false
-		p.writebacks++
+		stale := p.frames[key] != f
+		if err != nil || f.dirty {
+			// Write-back failed, or the frame was re-dirtied while the lock
+			// was down: keep the data and let it age out through the normal
+			// policy (mirrors Unpin's re-admission).
+			if !stale && f.pins == 0 && f.blk != nil && f.elem == nil {
+				p.policy.add(f, f.hot)
+				f.hot = false
+			}
+			p.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("buffer: release %s: %w", key, err)
+			}
+			return nil
+		}
+		if stale {
+			p.mu.Unlock()
+			return nil
+		}
 	}
 	if f.pins > 0 {
+		p.mu.Unlock()
 		return nil
 	}
 	p.policy.remove(f)
 	delete(p.frames, key)
 	p.forgetLocked(f)
+	p.mu.Unlock()
 	return nil
 }
 

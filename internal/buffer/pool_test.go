@@ -234,6 +234,91 @@ func TestSessionAliasing(t *testing.T) {
 	}
 }
 
+// blockingStore wraps a backend so a test can hold a WriteBlock
+// mid-flight: when armed, a write signals entered and then gates on
+// release before reaching the underlying store.
+type blockingStore struct {
+	storage.Backend
+	mu      sync.Mutex
+	armed   bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingStore) WriteBlock(array string, r, c int64, blk *blas.Matrix) error {
+	b.mu.Lock()
+	armed := b.armed
+	b.mu.Unlock()
+	if armed {
+		b.entered <- struct{}{}
+		<-b.release
+	}
+	return b.Backend.WriteBlock(array, r, c, blk)
+}
+
+// TestReleaseBlockWritebackOutsideLock pins two properties of the release
+// path: the dirty write-back runs without the pool lock held (other pool
+// operations proceed while it is in flight), and a re-Put landing during
+// the write-back keeps its fresh data dirty instead of having it
+// clobbered by the stale flush's bookkeeping.
+func TestReleaseBlockWritebackOutsideLock(t *testing.T) {
+	m, err := storage.NewManager(t.TempDir(), storage.FormatDAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	if err := m.Create(&prog.Array{Name: "A", BlockRows: 8, BlockCols: 8, GridRows: 1, GridCols: 1}); err != nil {
+		t.Fatal(err)
+	}
+	bs := &blockingStore{Backend: m, entered: make(chan struct{}), release: make(chan struct{})}
+	p := NewPool(bs, 0)
+
+	blk := blas.NewMatrix(8, 8)
+	blk.Data[0] = 1
+	if err := p.Put("A", 0, 0, blk); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin("A", 0, 0, 1)
+
+	bs.mu.Lock()
+	bs.armed = true
+	bs.mu.Unlock()
+	done := make(chan error, 1)
+	go func() { done <- p.ReleaseBlock("A", 0, 0) }()
+	<-bs.entered // the release's write-back is now parked inside the store
+
+	// Concurrent pool traffic must not stall: a re-Put of the same block
+	// completes while the write-back is still in flight. (Before the fix
+	// this deadlocked — ReleaseBlock held p.mu across the store write.)
+	blk2 := blas.NewMatrix(8, 8)
+	blk2.Data[0] = 2
+	if err := p.Put("A", 0, 0, blk2); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin("A", 0, 0, 1)
+
+	bs.mu.Lock()
+	bs.armed = false
+	bs.mu.Unlock()
+	close(bs.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale write-back must not have marked the re-Put's data clean:
+	// the frame is still dirty, so Flush lands the fresh value on disk.
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := m.ReadBlock("A", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.Data[0] != 2 {
+		t.Fatalf("storage after release+flush = %g, want 2 (re-Put lost to stale write-back)", onDisk.Data[0])
+	}
+}
+
 func TestInvalidateArray(t *testing.T) {
 	p, m := newTestPool(t, 0)
 	if err := m.Create(&prog.Array{Name: "q1.Out", BlockRows: 8, BlockCols: 8, GridRows: 1, GridCols: 1}); err != nil {

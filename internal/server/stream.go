@@ -238,7 +238,10 @@ type ndjsonSink struct{ w io.Writer }
 func (n ndjsonSink) write(v any) error {
 	buf, err := json.Marshal(v)
 	if err != nil {
-		return err
+		// Marshal failures (NaN/±Inf block data) happen before any bytes
+		// of the line reach the client; tag them so the stream reports a
+		// real error instead of a disconnect.
+		return &encodeError{err: err}
 	}
 	buf = append(buf, '\n')
 	_, err = n.w.Write(buf)
@@ -325,6 +328,26 @@ func (s *Server) handleResultsStream(w http.ResponseWriter, r *http.Request) {
 // errStreamCanceled classifies a client disconnect mid-stream.
 var errStreamCanceled = errors.New("stream canceled by client")
 
+// encodeError marks a sink failure that happened while encoding a frame
+// (json.Marshal of a NaN/±Inf block on the ndjson path, say) rather than
+// writing it to the client. The distinction drives the stream's outcome:
+// an encode failure is a genuine stream error — reported in-band with an
+// error frame and counted under outcome="error" — while a write failure
+// means the client is gone (outcome="canceled").
+type encodeError struct{ err error }
+
+func (e *encodeError) Error() string { return "encode stream frame: " + e.err.Error() }
+func (e *encodeError) Unwrap() error { return e.err }
+
+// classifySinkErr maps a sink failure to the stream's outcome error.
+func classifySinkErr(err error) error {
+	var enc *encodeError
+	if errors.As(err, &enc) {
+		return fmt.Errorf("server: %w", enc)
+	}
+	return errStreamCanceled
+}
+
 // streamQuery drives one stream: wait for the query's output namespace,
 // then deliver every non-transient output array's blocks in sorted-array,
 // row-major order, waiting on per-block completion signals, acquiring at
@@ -367,7 +390,19 @@ func (s *Server) streamQuery(r *http.Request, q *query, opt streamOptions, sink 
 	default:
 		s.streamCompleted.Add(1)
 		if opt.retain == RetainDrop {
-			s.dropOutputs(q)
+			// The stream can complete before runQuery does — blocks are
+			// announced as execution writes them, ahead of the result-fetch
+			// phase — and dropping the output stores then would yank them
+			// out from under InvalidateArray/collectOutputs and fail a
+			// successful query. Wait for the terminal state and drop only on
+			// success; a failed query's run path drops its own outputs.
+			<-q.done
+			s.mu.Lock()
+			succeeded := q.status.State == StateDone
+			s.mu.Unlock()
+			if succeeded {
+				s.dropOutputs(q)
+			}
 		}
 	}
 	s.mStreamOutcome[outcome].Inc()
@@ -428,7 +463,7 @@ func (s *Server) streamBlocks(ctx context.Context, q *query, opt streamOptions, 
 		}
 		phys := alias[name]
 		if err := sink.Array(name, arr); err != nil {
-			return arrays, blocks, bytes, errStreamCanceled
+			return arrays, blocks, bytes, classifySinkErr(err)
 		}
 		arrays++
 		chunk := make([]pending, 0, opt.chunk)
@@ -437,7 +472,7 @@ func (s *Server) streamBlocks(ctx context.Context, q *query, opt streamOptions, 
 		emit := func() error {
 			for _, p := range chunk {
 				if err := sink.Block(name, p.r, p.c, p.blk); err != nil {
-					return errStreamCanceled
+					return classifySinkErr(err)
 				}
 				blocks++
 				bytes += int64(len(p.blk.Data)) * 8
@@ -478,7 +513,7 @@ func (s *Server) streamBlocks(ctx context.Context, q *query, opt streamOptions, 
 		}
 	}
 	if err := sink.End(arrays, blocks, bytes); err != nil {
-		return arrays, blocks, bytes, errStreamCanceled
+		return arrays, blocks, bytes, classifySinkErr(err)
 	}
 	flush()
 	return arrays, blocks, bytes, nil
@@ -510,8 +545,17 @@ func (s *Server) waitBlockReady(ctx context.Context, q *query, key string) error
 
 // StreamTo streams a query's outputs to w in the binary frame format —
 // the in-process form of GET /results/stream, used by tests and
-// embedders. It blocks until the stream completes or fails.
+// embedders. It blocks until the stream completes or fails; use
+// StreamToCtx to bound how long that can be.
 func (s *Server) StreamTo(w io.Writer, id string, chunkBlocks int) error {
+	return s.StreamToCtx(context.Background(), w, id, chunkBlocks)
+}
+
+// StreamToCtx is StreamTo with a cancellation hook: canceling ctx aborts
+// the stream mid-delivery (retiring what it held, like a client
+// disconnect on the HTTP path), so a query that hangs before reaching a
+// terminal state cannot block the embedder forever.
+func (s *Server) StreamToCtx(ctx context.Context, w io.Writer, id string, chunkBlocks int) error {
 	s.mu.Lock()
 	q, ok := s.queries[id]
 	s.mu.Unlock()
@@ -522,7 +566,7 @@ func (s *Server) StreamTo(w io.Writer, id string, chunkBlocks int) error {
 		chunkBlocks = 1
 	}
 	opt := streamOptions{format: "binary", chunk: chunkBlocks, retain: RetainEvict}
-	_, _, _, err := s.streamBlocks(context.Background(), q, opt, binarySink{w: w}, func() {})
+	_, _, _, err := s.streamBlocks(ctx, q, opt, binarySink{w: w}, func() {})
 	return err
 }
 

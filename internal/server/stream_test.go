@@ -3,7 +3,10 @@ package server
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -381,6 +384,144 @@ func TestStreamClientDisconnect(t *testing.T) {
 	}
 	if pins := s.Stats().Pool.PinnedFrames; pins != 0 {
 		t.Errorf("%d pool frames still pinned after disconnect + re-stream", pins)
+	}
+}
+
+// TestStreamRetainDropWaitsForQuery is the regression test for the
+// early-delivery/RetainDrop race: a ?retain=drop stream that finishes
+// before the query's result-fetch phase (blocks are announced as they
+// are written, ahead of collectOutputs) must not drop the output stores
+// out from under the still-running query. The query ends StateDone with
+// its summary; only then are the outputs retired.
+func TestStreamRetainDropWaitsForQuery(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Seed: testSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The window needs the stream to finish just as result-fetch begins,
+	// so: a program whose output blocks are independent (each block's
+	// final write is announced as execution passes it, keeping the stream
+	// in lockstep with exec via pool hits instead of bunching every
+	// announcement at the end), and asymmetric device latency — reads
+	// slow, writes free — so the stream's per-block retirement costs
+	// nothing while the query's result-fetch phase still has one slow
+	// read per output block ahead of it when the stream's End frame (and,
+	// before the fix, the drop) lands.
+	s.Store().SetLatency(10*time.Millisecond, 0)
+	id, err := s.Submit(Request{Spec: gridAddSpec(4, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/results/stream?id=" + id + "&retain=drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeStream(t, body) // fails on an in-band error frame
+
+	st, err := s.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("query after retain=drop stream: state %s, err %q (outputs dropped under the running query?)", st.State, st.Err)
+	}
+	if len(st.Outputs) == 0 {
+		t.Fatal("summary missing after retain=drop stream")
+	}
+	// The drop did happen — after completion: block re-reads now fail
+	// while the summary above survived.
+	if _, err := s.Output(id, st.Outputs[0].Array); err == nil {
+		t.Errorf("Output(%s) succeeded after retain=drop; outputs were never dropped", st.Outputs[0].Array)
+	}
+}
+
+// TestSinkErrorClassification covers the stream-outcome split between
+// transport failures (client gone → canceled) and encode failures (bad
+// data → a real stream error): an ndjson marshal of NaN block data must
+// not be silently counted as a client disconnect.
+func TestSinkErrorClassification(t *testing.T) {
+	if err := classifySinkErr(io.ErrClosedPipe); !errors.Is(err, errStreamCanceled) {
+		t.Fatalf("transport failure classified as %v, want canceled", err)
+	}
+	blk := blas.NewMatrix(1, 1)
+	blk.Data[0] = math.NaN()
+	var buf bytes.Buffer
+	err := ndjsonSink{w: &buf}.Block("E", 0, 0, blk)
+	if err == nil {
+		t.Fatal("ndjson encode of NaN block data should fail")
+	}
+	var enc *encodeError
+	if !errors.As(err, &enc) {
+		t.Fatalf("marshal failure not tagged as encodeError: %v", err)
+	}
+	if c := classifySinkErr(err); errors.Is(c, errStreamCanceled) {
+		t.Fatalf("encode failure misclassified as client disconnect: %v", c)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("partial line written before the encode failure: %q", buf.String())
+	}
+}
+
+// TestStreamToCtxCancel proves the in-process streaming entry point honors
+// its context: canceling mid-stream releases the embedder instead of
+// blocking forever in waitBlockReady on a query that has not run yet.
+func TestStreamToCtxCancel(t *testing.T) {
+	s, err := New(Config{
+		Dir:           t.TempDir(),
+		Seed:          testSeed,
+		MaxConcurrent: 1,
+		Programs:      map[string]func() *prog.Program{"addmul-small": smallAddMul},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// The first query occupies the only execution slot for hundreds of
+	// milliseconds; the second stays queued, so its stream has nothing to
+	// deliver and parks in waitBlockReady.
+	s.Store().SetLatency(3*time.Millisecond, 3*time.Millisecond)
+	id1, err := s.Submit(Request{Program: "addmul-small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Submit(Request{Program: "addmul-small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	streamDone := make(chan error, 1)
+	go func() { streamDone <- s.StreamToCtx(ctx, io.Discard, id2, 2) }()
+	select {
+	case err := <-streamDone:
+		if !errors.Is(err, errStreamCanceled) {
+			t.Fatalf("StreamToCtx after cancel: %v, want canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("StreamToCtx still blocked after its context was canceled")
+	}
+	// The abandoned stream left both queries unharmed.
+	s.Store().SetLatency(0, 0)
+	for _, id := range []string{id1, id2} {
+		st, err := s.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("query %s: state %s, err %q", id, st.State, st.Err)
+		}
 	}
 }
 
