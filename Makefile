@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race test-full bench bench-json bench-check lint fmt doc-check smoke
+.PHONY: build test test-race test-full bench bench-json bench-check lint fmt doc-check riotvet smoke
 
 build:
 	$(GO) build ./...
@@ -91,7 +91,16 @@ doc-check:
 smoke:
 	./scripts/remote_smoke.sh
 
-lint:
+# riotvet is the project-invariant static-analysis suite (guarded-field
+# locking, I/O under locks, context threading, error classification); see
+# docs/static-analysis.md for the invariants and the annotation vocabulary.
+# Also runnable through the vet driver: go vet -vettool=$(go env GOPATH)/bin/riotvet ./...
+riotvet:
+	$(GO) run ./cmd/riotvet ./...
+
+# The one lint entry point: go vet, gofmt, the riotvet suite, and godoc
+# completeness + docs link checking. CI runs exactly this.
+lint: riotvet doc-check
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \

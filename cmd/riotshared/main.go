@@ -34,6 +34,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -180,7 +181,7 @@ func serve(fs *flag.FlagSet, args []string) error {
 		EnablePprof:          *pprofOn,
 		TraceCapacity:        *traceCap,
 	})
-	if err == http.ErrServerClosed {
+	if errors.Is(err, http.ErrServerClosed) {
 		err = nil
 	}
 	return err

@@ -1,0 +1,94 @@
+// Command riotvet runs the project-invariant static-analysis suite:
+// guardedfield (mutex-guarded fields are accessed under their mutex),
+// lockio (no blocking I/O inside critical sections), ctxflow
+// (sched/core/server thread the caller's context), and errclass
+// (errors are classified with errors.Is/As/Join). Each analyzer
+// mechanically enforces a rule a past review cycle fixed by hand; see
+// docs/static-analysis.md.
+//
+// Two modes share the same analyzers:
+//
+//	riotvet ./...                      # standalone, whole-module
+//	go vet -vettool=$(which riotvet) ./...  # unit-at-a-time under cmd/go
+//
+// Standalone mode loads packages itself (go list -export) and exits 1
+// when any analyzer reports a finding, 2 when loading or type checking
+// fails. Vettool mode speaks the go command's unitchecker protocol:
+// -V=full for tool identity, -flags for flag discovery, and a JSON
+// *.cfg file naming one package's files and export data per
+// invocation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"riotshare/internal/lint"
+	"riotshare/internal/lint/analysis"
+	"riotshare/internal/lint/load"
+)
+
+func main() {
+	// The -V and -flags protocol flags must be handled before normal
+	// flag parsing: the go command probes them with no other args.
+	progFlags := flag.NewFlagSet("riotvet", flag.ExitOnError)
+	progFlags.Usage = usage
+	version := progFlags.String("V", "", "print version and exit (the go vet tool protocol; only -V=full is supported)")
+	listFlags := progFlags.Bool("flags", false, "print the tool's analyzer flags as JSON and exit (the go vet tool protocol)")
+	if err := progFlags.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *version != "" {
+		printVersion(*version)
+		return
+	}
+	if *listFlags {
+		// No analyzer exposes flags; tell cmd/go so it treats every
+		// remaining argument as a package pattern.
+		fmt.Println("[]")
+		return
+	}
+
+	args := progFlags.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		unitcheck(args[0])
+		return
+	}
+	standalone(args)
+}
+
+// usage prints the command synopsis.
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: riotvet [packages]  (standalone)\n")
+	fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which riotvet) [packages]\n\n")
+	fmt.Fprintf(os.Stderr, "analyzers:\n")
+	for _, a := range lint.Suite() {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+	}
+}
+
+// standalone loads the matched packages and applies the suite,
+// printing findings in vet's file:line:col form.
+func standalone(patterns []string) {
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "riotvet: %v\n", err)
+		os.Exit(2)
+	}
+	suite := lint.Suite()
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(pkg.Unit, suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "riotvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,30 @@
+// Package bad is the known-bad fixture for the -vettool integration
+// smoke test: it must make `go vet -vettool=riotvet` exit nonzero with
+// an errclass diagnostic (a sentinel == comparison) and a guardedfield
+// diagnostic (a guarded map read lock-free).
+package bad
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrGone is the sentinel the comparison below misuses.
+var ErrGone = errors.New("gone")
+
+// IsGone compares a possibly wrapped error against the sentinel with
+// ==: the diagnostic the smoke test greps for.
+func IsGone(err error) bool {
+	return err == ErrGone
+}
+
+// cache pairs a mutex with the map it guards.
+type cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// peek reads the guarded map without the lock.
+func (c *cache) peek(k string) int {
+	return c.m[k]
+}

@@ -1,0 +1,3 @@
+module knownbad
+
+go 1.22

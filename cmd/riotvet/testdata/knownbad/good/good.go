@@ -1,0 +1,29 @@
+// Package good is the clean control for the -vettool integration
+// smoke test: `go vet -vettool=riotvet` must pass it.
+package good
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrGone is a sentinel matched structurally below.
+var ErrGone = errors.New("gone")
+
+// IsGone classifies with errors.Is, surviving wrapping.
+func IsGone(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+// cache pairs a mutex with the map it guards.
+type cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// peek reads the guarded map under the lock.
+func (c *cache) peek(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}

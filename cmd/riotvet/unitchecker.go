@@ -1,0 +1,173 @@
+// The go vet tool protocol: cmd/go invokes the tool once per package
+// with a JSON config file naming the package's sources and its
+// dependencies' export data, mirroring
+// golang.org/x/tools/go/analysis/unitchecker closely enough that
+// `go vet -vettool=$(which riotvet)` behaves like any other vet tool —
+// including build caching keyed on the tool's -V=full identity.
+
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"riotshare/internal/lint"
+	"riotshare/internal/lint/analysis"
+)
+
+// vetConfig is the subset of cmd/go's vet.cfg schema riotvet needs.
+// Field names and meanings follow the unitchecker contract.
+type vetConfig struct {
+	ID                        string            // package ID, e.g. "fmt [fmt.test]"
+	Compiler                  string            // "gc"
+	Dir                       string            // package directory
+	ImportPath                string            // canonical import path
+	GoVersion                 string            // minimum go version, e.g. "go1.22"
+	GoFiles                   []string          // absolute paths of Go sources
+	NonGoFiles                []string          // assembly etc. (unused)
+	IgnoredFiles              []string          // build-constrained-away files (unused)
+	ImportMap                 map[string]string // source import -> canonical path
+	PackageFile               map[string]string // canonical path -> export data file
+	Standard                  map[string]bool   // canonical path -> is stdlib
+	PackageVetx               map[string]string // canonical path -> dependency facts (unused)
+	VetxOnly                  bool              // only facts are wanted, no diagnostics
+	VetxOutput                string            // where to write this package's facts
+	SucceedOnTypecheckFailure bool              // exit 0 quietly if the package doesn't compile
+}
+
+// unitcheck runs the suite over one vet unit described by cfgFile and
+// exits: 0 clean, 1 findings, 2 protocol or type errors.
+func unitcheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("reading vet config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing vet config %s: %v", cfgFile, err)
+	}
+
+	unit, err := typecheckUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(&cfg)
+			os.Exit(0)
+		}
+		fatalf("%v", err)
+	}
+
+	// The suite exchanges no inter-package facts, but the go command
+	// expects the facts file to exist before it caches the unit.
+	writeVetx(&cfg)
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	findings, err := analysis.Run(unit, lint.Suite())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// typecheckUnit parses and type-checks the unit's sources against the
+// export data cmd/go supplied.
+func typecheckUnit(cfg *vetConfig) (*analysis.Unit, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(importPath string) (io.ReadCloser, error) {
+		canonical, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no import mapping for %q", importPath)
+		}
+		file, ok := cfg.PackageFile[canonical]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", canonical)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: type checking failed: %w", cfg.ImportPath, err)
+	}
+	return &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// writeVetx writes the (empty) facts file the go command caches for
+// dependent units.
+func writeVetx(cfg *vetConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		fatalf("writing facts: %v", err)
+	}
+}
+
+// fatalf reports a protocol-level failure and exits 2.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "riotvet: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// printVersion implements -V=full: the go command hashes this line
+// into its build cache key, so it must identify the executable's
+// contents, not just its name.
+func printVersion(mode string) {
+	if mode != "full" {
+		fatalf("unsupported flag value: -V=%s", mode)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("-V=full: %v", err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fatalf("-V=full: %v", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatalf("-V=full: %v", err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", filepath.Base(exe), h.Sum(nil))
+}

@@ -1,0 +1,77 @@
+package main_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildRiotvet compiles the riotvet binary into a temp dir and returns
+// its path.
+func buildRiotvet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "riotvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building riotvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVetTool is the -vettool integration smoke test: driving the
+// suite through `go vet -vettool=riotvet` over a known-bad fixture
+// package must exit nonzero with the expected diagnostics, and over a
+// clean control package must pass. This covers the unitchecker
+// protocol (-V=full identity, vet.cfg parsing, export-data import,
+// facts output) end to end under the real go command.
+func TestVetTool(t *testing.T) {
+	bin := buildRiotvet(t)
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./bad")
+	vet.Dir = "testdata/knownbad"
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool=riotvet ./bad succeeded; want failure\n%s", out)
+	}
+	for _, want := range []string{
+		"sentinel comparison err == ErrGone",
+		"cache.m is guarded by c.mu",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("go vet output missing %q:\n%s", want, out)
+		}
+	}
+
+	vet = exec.Command("go", "vet", "-vettool="+bin, "./good")
+	vet.Dir = "testdata/knownbad"
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=riotvet ./good failed: %v\n%s", err, out)
+	}
+}
+
+// TestStandalone drives the same fixture through riotvet's standalone
+// mode: exit 1 with diagnostics on the bad package, exit 0 on the
+// clean one.
+func TestStandalone(t *testing.T) {
+	bin := buildRiotvet(t)
+
+	cmd := exec.Command(bin, "./bad")
+	cmd.Dir = "testdata/knownbad"
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("riotvet ./bad succeeded; want exit 1\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("riotvet ./bad: want exit code 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "errclass: sentinel comparison") {
+		t.Errorf("riotvet output missing errclass diagnostic:\n%s", out)
+	}
+
+	cmd = exec.Command(bin, "./good")
+	cmd.Dir = "testdata/knownbad"
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("riotvet ./good failed: %v\n%s", err, out)
+	}
+}

@@ -195,7 +195,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		version, op, payload, err := blockproto.ReadFrame(conn)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !isConnReset(err) {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !isConnReset(err) {
 				s.logf("blockd: %s: read: %v", conn.RemoteAddr(), err)
 			}
 			return

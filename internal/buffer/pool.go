@@ -152,7 +152,9 @@ func poolKey(array string, r, c int64) string {
 	return fmt.Sprintf("%s[%d,%d]", array, r, c)
 }
 
-func (p *Pool) tenant(name string) *tenantCounters {
+// tenantLocked returns (creating on first use) the per-tenant counters;
+// every caller holds p.mu.
+func (p *Pool) tenantLocked(name string) *tenantCounters {
 	tc := p.tenants[name]
 	if tc == nil {
 		tc = &tenantCounters{}
@@ -165,7 +167,7 @@ func (p *Pool) tenant(name string) *tenantCounters {
 func (p *Pool) installLocked(f *frame) {
 	p.bytes += f.bytes
 	p.arrays[f.array] += f.bytes
-	p.tenant(f.tenant).bytes += f.bytes
+	p.tenantLocked(f.tenant).bytes += f.bytes
 }
 
 // forgetLocked reverses installLocked when a frame leaves the pool (or
@@ -177,7 +179,7 @@ func (p *Pool) forgetLocked(f *frame) {
 	} else {
 		delete(p.arrays, f.array)
 	}
-	p.tenant(f.tenant).bytes -= f.bytes
+	p.tenantLocked(f.tenant).bytes -= f.bytes
 }
 
 // Acquire returns a private copy of the block with one pin held on its
@@ -207,7 +209,7 @@ func (p *Pool) acquire(tenant, array string, r, c int64) (*blas.Matrix, error) {
 				return nil, err
 			}
 			p.hits++
-			p.tenant(tenant).hits++
+			p.tenantLocked(tenant).hits++
 			src := f.blk
 			p.mu.Unlock()
 			// Frames are never mutated in place (Put swaps the pointer),
@@ -215,7 +217,7 @@ func (p *Pool) acquire(tenant, array string, r, c int64) (*blas.Matrix, error) {
 			return src.Clone(), nil
 		}
 		p.hits++
-		p.tenant(tenant).hits++
+		p.tenantLocked(tenant).hits++
 		src := f.blk
 		p.mu.Unlock()
 		return src.Clone(), nil
@@ -225,7 +227,7 @@ func (p *Pool) acquire(tenant, array string, r, c int64) (*blas.Matrix, error) {
 	f := &frame{array: array, r: r, c: c, key: key, tenant: tenant, pins: 1, loading: make(chan struct{})}
 	p.frames[key] = f
 	p.misses++
-	p.tenant(tenant).misses++
+	p.tenantLocked(tenant).misses++
 	p.mu.Unlock()
 
 	blk, err := p.store.ReadBlock(array, r, c)
@@ -408,6 +410,9 @@ func (p *Pool) ReleaseBlock(array string, r, c int64) error {
 func (p *Pool) evictFrameLocked(f *frame) error {
 	p.policy.remove(f)
 	if f.dirty {
+		// Write-back under p.mu is the documented eviction serialization
+		// point (see evictToCapLocked); the victim must leave atomically
+		// with its accounting. //riotvet:allow lockio
 		if err := p.store.WriteBlock(f.array, f.r, f.c, f.blk); err != nil {
 			p.policy.requeue(f)
 			return fmt.Errorf("buffer: write-back %s: %w", f.key, err)
@@ -467,6 +472,9 @@ func (p *Pool) Flush() error {
 		if !f.dirty || f.blk == nil {
 			continue
 		}
+		// Flush holds p.mu across write-backs so no new dirty state can
+		// race the durability sweep; it runs at shutdown/checkpoint, not
+		// on the query path. //riotvet:allow lockio
 		if err := p.store.WriteBlock(f.array, f.r, f.c, f.blk); err != nil {
 			return fmt.Errorf("buffer: flush %s: %w", f.key, err)
 		}
@@ -492,6 +500,9 @@ func (p *Pool) InvalidateArray(array string) error {
 			continue
 		}
 		if f.dirty {
+			// Retiring a finished query's outputs: the write-back must be
+			// atomic with dropping the frame, and runs once per query, off
+			// the hot acquire path. //riotvet:allow lockio
 			if err := p.store.WriteBlock(f.array, f.r, f.c, f.blk); err != nil {
 				return fmt.Errorf("buffer: invalidate %s: %w", f.key, err)
 			}

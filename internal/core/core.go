@@ -67,7 +67,7 @@ type Result struct {
 
 // Optimize runs the full pipeline on a program whose parameters are bound.
 func Optimize(p *prog.Program, opt Options) (*Result, error) {
-	return OptimizeCtx(context.Background(), p, opt)
+	return OptimizeCtx(context.Background(), p, opt) //riotvet:allow ctxflow — compatibility wrapper; cancelable callers use OptimizeCtx
 }
 
 // OptimizeCtx is Optimize with cancellation: canceling ctx aborts the
@@ -163,8 +163,10 @@ func lowerAndCostAll(an *deps.Analysis, plans []sched.Plan, model disk.Model) ([
 // the Apriori enumeration. The empty combination (baseline) is always
 // included. Used by the selected-plan experiments (Figures 4(b), 5(b),
 // 6(b)) and anywhere the caller already knows the plans of interest.
+//
+//riotvet:allow ctxflow — compatibility wrapper; cancelable callers use OptimizeSubsetsCtx
 func OptimizeSubsets(p *prog.Program, opt Options, subsets [][]string) (*Result, error) {
-	return OptimizeSubsetsCtx(context.Background(), p, opt, subsets)
+	return OptimizeSubsetsCtx(context.Background(), p, opt, subsets) //riotvet:allow ctxflow — compatibility wrapper; see OptimizeSubsetsCtx
 }
 
 // OptimizeSubsetsCtx is OptimizeSubsets with cancellation plumbed through
@@ -356,10 +358,19 @@ type BlockSizeChoice struct {
 // sharing by sweeping scaling factors over a program-template builder and
 // returning the evaluated choices, best first. build must return the
 // program for a given scale.
+//
+//riotvet:allow ctxflow — compatibility wrapper; cancelable callers use OptimizeBlockSizeCtx
 func OptimizeBlockSize(build func(scale float64) *prog.Program, scales []float64, opt Options) ([]BlockSizeChoice, error) {
+	return OptimizeBlockSizeCtx(context.Background(), build, scales, opt) //riotvet:allow ctxflow — compatibility wrapper; see OptimizeBlockSizeCtx
+}
+
+// OptimizeBlockSizeCtx is OptimizeBlockSize with cancellation: each
+// per-scale optimization runs under ctx, so a deadline or shutdown can
+// interrupt the sweep between (or inside) full searches.
+func OptimizeBlockSizeCtx(ctx context.Context, build func(scale float64) *prog.Program, scales []float64, opt Options) ([]BlockSizeChoice, error) {
 	var out []BlockSizeChoice
 	for _, s := range scales {
-		r, err := Optimize(build(s), opt)
+		r, err := OptimizeCtx(ctx, build(s), opt)
 		if err != nil {
 			return nil, fmt.Errorf("core: block-size scale %.2f: %w", s, err)
 		}

@@ -1,0 +1,205 @@
+// Package analysis is a dependency-free skeleton of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check, a
+// Pass hands it one type-checked package, and Run applies a suite of
+// analyzers to a package and collects position-sorted findings.
+//
+// The shapes (Analyzer.Run(*Pass), Pass.Reportf, Diagnostic) mirror
+// x/tools deliberately so the riotvet analyzers can migrate to the real
+// framework by swapping an import path if the dependency ever becomes
+// available; the build environment for this repository is offline, so
+// the suite cannot assume the module cache holds x/tools.
+//
+// Beyond the x/tools subset, Run implements the project-wide
+// suppression annotation: a diagnostic is dropped when its source line
+// (or the line directly above it) carries a comment of the form
+//
+//	//riotvet:allow <analyzer-name> — <reason>
+//
+// naming the reporting analyzer. The reason text is free-form but the
+// annotation is intentionally per-line and per-analyzer so a suppression
+// can never silence more than the one finding it documents.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check: a stable name (used in
+// diagnostics and //riotvet:allow annotations), user-facing
+// documentation, and the Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -<name>=false
+	// toggles, and //riotvet:allow comments. By convention it is a
+	// lower-case single word.
+	Name string
+
+	// Doc is the analyzer's documentation: the first line states the
+	// invariant it enforces, the rest explains the rules and the
+	// annotations that mark intentional exceptions.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Report. The result value is unused by this skeleton (x/tools
+	// uses it for inter-analyzer facts) but kept for API parity.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+
+	// Fset maps token positions in Files to file/line/column.
+	Fset *token.FileSet
+
+	// Files holds the package's parsed syntax, comments included.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type-checker's facts about Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Analyzers usually call Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	// Pos locates the finding; it must be valid within the pass's Fset.
+	Pos token.Pos
+
+	// Message states the violated invariant and, where useful, the
+	// annotation that would mark an intentional exception.
+	Message string
+}
+
+// A Unit is one type-checked package ready for analysis: shared
+// file set, parsed files (with comments), the types.Package, and the
+// type-checker's info tables.
+type Unit struct {
+	// Fset is the file set the files were parsed against.
+	Fset *token.FileSet
+
+	// Files is the package's syntax, parsed with comments.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// Info holds Types/Defs/Uses/Selections/Scopes/Implicits for Files.
+	Info *types.Info
+}
+
+// A Finding is one resolved diagnostic: analyzer name, concrete
+// position, and message. Findings are what the riotvet driver prints.
+type Finding struct {
+	// Analyzer is the reporting analyzer's Name.
+	Analyzer string
+
+	// Pos is the finding's resolved file/line/column.
+	Pos token.Position
+
+	// Message is the diagnostic text.
+	Message string
+}
+
+// String renders the finding in the canonical vet form
+// "file:line:col: analyzer: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// allowRE matches one suppression annotation; the analyzer name is the
+// first whitespace-delimited token after the marker.
+var allowRE = regexp.MustCompile(`riotvet:allow\s+(\S+)`)
+
+// Run applies the analyzers to the unit and returns its findings sorted
+// by position. Diagnostics are dropped when they fall in a _test.go
+// file (tests poke invariants deliberately) or when their line — or the
+// line above — carries a matching //riotvet:allow annotation.
+func Run(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
+	allowed := allowLines(u.Fset, u.Files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			pos := u.Fset.Position(d.Pos)
+			if strings.HasSuffix(pos.Filename, "_test.go") {
+				return
+			}
+			if names, ok := allowed[lineKey{pos.Filename, pos.Line}]; ok {
+				for _, n := range names {
+					if n == a.Name {
+						return
+					}
+				}
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", u.Pkg.Path(), a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// lineKey addresses one source line for the suppression index.
+type lineKey struct {
+	file string
+	line int
+}
+
+// allowLines indexes //riotvet:allow annotations: a comment on line N
+// suppresses the named analyzers on N and N+1, so both trailing and
+// line-above annotation styles work.
+func allowLines(fset *token.FileSet, files []*ast.File) map[lineKey][]string {
+	idx := make(map[lineKey][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := lineKey{pos.Filename, line}
+					idx[k] = append(idx[k], m[1])
+				}
+			}
+		}
+	}
+	return idx
+}

@@ -1,0 +1,171 @@
+// Package analysistest runs a riotvet analyzer over a fixture module
+// and checks its diagnostics against `// want` comment expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives under the analyzer's testdata directory as a
+// self-contained module (its own go.mod), typically named `riotshare`
+// so path-sensitive analyzers resolve `internal/...` fixture packages
+// exactly like the real tree. Expectations are trailing comments on
+// the line a diagnostic should land on:
+//
+//	stats := r.counts // want `counts is guarded by`
+//	okHere()          // no comment: any diagnostic on this line fails
+//
+// Each backquoted or double-quoted string after `want` is an anchored
+// regular expression that must match one diagnostic on that line;
+// unmatched expectations and unexpected diagnostics both fail the
+// test. `// want` comments work in _test.go fixture files too, but
+// the runner skips such files by design, so fixtures use plain .go
+// files.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"riotshare/internal/lint/analysis"
+	"riotshare/internal/lint/load"
+)
+
+// wantRE captures the expectation list after a `want` marker.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one unmatched `// want` pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the module rooted at dir (applying patterns, default
+// ./...), applies the analyzer to every loaded package, and reports
+// any mismatch between diagnostics and `// want` expectations as test
+// errors. It returns the findings for additional assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) []analysis.Finding {
+	t.Helper()
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	var findings []analysis.Finding
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		fs, err := analysis.Run(pkg.Unit, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		findings = append(findings, fs...)
+		ws, err := collectWants(pkg.Unit.Fset, pkg.Unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	// Greedy matching: each diagnostic consumes the first unmatched
+	// expectation on its line whose pattern matches.
+	for _, f := range findings {
+		consumed := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				consumed = true
+				break
+			}
+		}
+		if !consumed {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+	return findings
+}
+
+// collectWants parses `// want` expectations out of the unit's
+// comments.
+func collectWants(fset *token.FileSet, u *analysis.Unit) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want comment: %w", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns tokenizes the tail of a want comment into its quoted
+// regular expressions (backquoted or double-quoted Go strings).
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '`' && quote != '"' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if quote == '"' {
+			// Respect escapes inside double quotes via strconv.
+			q, rest, ok := scanDoubleQuoted(s)
+			if !ok {
+				return nil, fmt.Errorf("unterminated pattern at %q", s)
+			}
+			out = append(out, q)
+			s = strings.TrimSpace(rest)
+			continue
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern at %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out, nil
+}
+
+// scanDoubleQuoted unquotes a leading double-quoted Go string and
+// returns it with the remainder of the input.
+func scanDoubleQuoted(s string) (val, rest string, ok bool) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			v, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", false
+			}
+			return v, s[i+1:], true
+		}
+	}
+	return "", "", false
+}

@@ -1,0 +1,113 @@
+// Package ctxflow implements the riotvet analyzer that enforces the
+// PR 8 cancellation discipline in the planning and serving trees.
+//
+// # Invariant
+//
+// In internal/sched, internal/core, and internal/server — the packages
+// between an HTTP request and the plan search it pays for — work must
+// be cancelable end to end:
+//
+//   - a function that accepts a context.Context takes it as the first
+//     parameter, so call sites thread it by habit;
+//   - library code does not mint context.Background() or
+//     context.TODO(): a minted root detaches the work from the
+//     caller's deadline and the server's shutdown, which is exactly
+//     how pre-PR 8 plan searches kept running for dead queries;
+//   - an exported function or method that takes work-sized inputs (a
+//     slice, map, or channel parameter) accepts a context, because
+//     work proportional to an input must be cancelable.
+//
+// # Annotating exceptions
+//
+// Deliberately detached work — a shared fill serving many queries, a
+// keep-alive compat wrapper — carries `//riotvet:allow ctxflow —
+// <reason>` on the minting or declaring line. The annotation names the
+// analyzer and documents why the detachment is sound.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"riotshare/internal/lint/analysis"
+	"riotshare/internal/lint/lintutil"
+)
+
+// Analyzer enforces ctx-first signatures and forbids minted root
+// contexts in the scheduling, planning, and serving packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "sched/core/server code threads the caller's context: ctx first, no minted context.Background",
+	Run:  run,
+}
+
+// run applies the analyzer to one package.
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PathIn(pass.Pkg.Path(), "sched", "core", "server") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, n)
+			case *ast.CallExpr:
+				checkMint(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkMint flags calls to context.Background and context.TODO.
+func checkMint(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if fn.Name() != "Background" && fn.Name() != "TODO" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"library code must not mint context.%s; accept and thread the caller's context (//riotvet:allow ctxflow — reason, if the work is deliberately detached)",
+		fn.Name())
+}
+
+// checkSignature enforces ctx-first ordering on every function and the
+// work-sized-inputs-take-a-context rule on exported ones.
+func checkSignature(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	ctxAt := -1
+	workSized := false
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if ok {
+			if lintutil.IsContextType(tv.Type) && ctxAt < 0 {
+				ctxAt = idx
+			}
+			if _, variadic := field.Type.(*ast.Ellipsis); !variadic {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Chan:
+					workSized = true
+				}
+			}
+		}
+		idx += n
+	}
+	if ctxAt > 0 {
+		pass.Reportf(fd.Name.Pos(), "context.Context must be the first parameter of %s, not parameter %d", fd.Name.Name, ctxAt+1)
+	}
+	if ctxAt < 0 && workSized && fd.Name.IsExported() {
+		pass.Reportf(fd.Name.Pos(),
+			"exported %s takes work-sized inputs but no context.Context; work proportional to an input must be cancelable (accept ctx first, or //riotvet:allow ctxflow — reason)",
+			fd.Name.Name)
+	}
+}

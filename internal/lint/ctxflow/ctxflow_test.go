@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"riotshare/internal/lint/analysistest"
+	"riotshare/internal/lint/ctxflow"
+)
+
+// TestCtxFlow runs the analyzer over the minimized pre-PR 8
+// cancellation gap (a plan search minting its own root context) and
+// the compliant and out-of-scope shapes around it.
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/riotshare", ctxflow.Analyzer)
+}

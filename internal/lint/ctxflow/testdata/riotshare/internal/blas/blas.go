@@ -1,0 +1,17 @@
+// Package blas sits outside the sched/core/server trees, so ctxflow
+// leaves its compute kernels alone even though they take slices.
+package blas
+
+import "context"
+
+// Scale is exempt: kernels below the planner are not request-scoped.
+func Scale(xs []float64, by float64) {
+	for i := range xs {
+		xs[i] *= by
+	}
+}
+
+// Detach is exempt for the same reason.
+func Detach() context.Context {
+	return context.Background()
+}

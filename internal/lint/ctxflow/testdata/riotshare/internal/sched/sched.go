@@ -1,0 +1,52 @@
+// Package sched is a minimized fixture of the pre-PR 8 cancellation
+// gap: a plan search that minted its own root context kept running
+// after its query died, burning a planner slot for nobody.
+package sched
+
+import "context"
+
+// Plan is a stand-in for a schedule under search.
+type Plan struct{ Cost float64 }
+
+// SearchCtx is the compliant shape: ctx first, threaded down.
+func SearchCtx(ctx context.Context, events []string) (Plan, error) {
+	for range events {
+		if err := ctx.Err(); err != nil {
+			return Plan{}, err
+		}
+	}
+	return Plan{}, nil
+}
+
+// Search is the historical bug: the search detaches itself from the
+// query's lifetime by minting a root context.
+func Search(events []string) (Plan, error) { // want `exported Search takes work-sized inputs but no context\.Context`
+	return SearchCtx(context.Background(), events) // want `library code must not mint context\.Background`
+}
+
+// refine threads a context but buries it mid-signature, so call sites
+// stop passing it by habit.
+func refine(base Plan, ctx context.Context, rounds int) Plan { // want `context\.Context must be the first parameter of refine`
+	_ = ctx
+	_ = rounds
+	return base
+}
+
+// Warm is deliberately detached: it pre-fills a cache shared by every
+// future query, so no single caller's deadline should bound it.
+func Warm(names []string) { //riotvet:allow ctxflow — shared cache fill outlives any one caller
+	ctx := context.Background() //riotvet:allow ctxflow — shared cache fill outlives any one caller
+	_, _ = SearchCtx(ctx, names)
+}
+
+// Options is variadic configuration, not work: no context demanded.
+func Options(opts ...string) Plan {
+	_ = opts
+	return Plan{}
+}
+
+// cost is unexported: the work-sized rule binds the public surface
+// only, and its int parameter is not work-sized anyway.
+func cost(rounds int) float64 {
+	return float64(rounds)
+}

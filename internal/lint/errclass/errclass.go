@@ -1,0 +1,297 @@
+// Package errclass implements the riotvet analyzer that enforces the
+// repository's error-classification discipline.
+//
+// # Invariant
+//
+// Errors that cross a package boundary are wrapped — the remote client
+// wraps shard failures, the storage layer wraps fs errors — so
+// classifying them structurally is the only correct move:
+//
+//   - a sentinel (a package-level error variable such as
+//     storage.ErrShardUnavailable, fs.ErrNotExist, or io.EOF) is
+//     matched with errors.Is, never compared with == or !=;
+//   - a concrete error type (such as *blockproto.ServerError) is
+//     extracted with errors.As, never a direct type assertion or type
+//     switch on an error value;
+//   - cleanup that visits many shards aggregates failures with
+//     errors.Join instead of overwriting one error variable per
+//     iteration, so no shard's failure is silently dropped.
+//
+// # Exceptions
+//
+// The bodies of Is(error) bool and As(any) bool methods are exempt —
+// comparing the target against a sentinel is how those methods are
+// written. A keep-first assignment under an explicit `x == nil` guard
+// is accepted for the loop rule. Anything else carries
+// `//riotvet:allow errclass — <reason>` on its line.
+//
+// # History
+//
+// The remote-shard classification path compared wrapped errors against
+// sentinels with ==, so a retryable failure wrapped by the pool read
+// as persistent and skipped the backoff path. The same review cycle
+// found a `err != io.EOF` in the block daemon's serve loop.
+package errclass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"riotshare/internal/lint/analysis"
+	"riotshare/internal/lint/lintutil"
+)
+
+// Analyzer flags sentinel ==/!= comparisons, direct error type
+// assertions, and last-error-wins loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Doc:  "classify errors structurally: errors.Is for sentinels, errors.As for types, errors.Join for aggregates",
+	Run:  run,
+}
+
+// run applies the analyzer to one package.
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exempt := isIsOrAsMethod(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if !exempt {
+						checkComparison(pass, n)
+					}
+				case *ast.TypeAssertExpr:
+					if !exempt {
+						checkAssert(pass, n)
+					}
+				case *ast.TypeSwitchStmt:
+					if !exempt {
+						checkTypeSwitch(pass, n)
+					}
+				case *ast.ForStmt:
+					checkLoop(pass, n, n.Body)
+				case *ast.RangeStmt:
+					checkLoop(pass, n, n.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isIsOrAsMethod reports whether fd is an Is(error) bool or
+// As(any/target) bool method — the one place direct comparison against
+// a sentinel or type is the implementation, not a bug.
+func isIsOrAsMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	if fd.Name.Name != "Is" && fd.Name.Name != "As" {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && sig.Results().Len() == 1
+}
+
+// checkComparison flags ==/!= against a package-level error sentinel.
+func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		valSide, sentinelSide := pair[0], pair[1]
+		tv, ok := pass.TypesInfo.Types[valSide]
+		if !ok || !lintutil.IsErrorType(tv.Type) {
+			continue
+		}
+		if sentinel := sentinelVar(pass, sentinelSide); sentinel != nil {
+			pass.Reportf(be.Pos(),
+				"sentinel comparison %s %s %s misclassifies wrapped errors; use errors.Is(%s, %s)",
+				types.ExprString(be.X), be.Op, types.ExprString(be.Y),
+				types.ExprString(valSide), types.ExprString(sentinelSide))
+			return
+		}
+	}
+}
+
+// sentinelVar resolves an expression to a package-level error variable
+// (a sentinel), or nil.
+func sentinelVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !lintutil.IsErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// checkAssert flags `x.(T)` where x is an error and T implements
+// error.
+func checkAssert(pass *analysis.Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return // x.(type): handled by checkTypeSwitch
+	}
+	xt, ok := pass.TypesInfo.Types[ta.X]
+	if !ok || !lintutil.IsErrorType(xt.Type) {
+		return
+	}
+	tt, ok := pass.TypesInfo.Types[ta.Type]
+	if !ok || !lintutil.ImplementsError(tt.Type) {
+		return
+	}
+	pass.Reportf(ta.Pos(),
+		"type assertion on an error misses wrapped values; use errors.As with a *%s target",
+		types.ExprString(ta.Type))
+}
+
+// checkTypeSwitch flags `switch x.(type)` over an error value when any
+// case extracts an error-implementing type.
+func checkTypeSwitch(pass *analysis.Pass, ts *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	case *ast.AssignStmt:
+		if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	if x == nil {
+		return
+	}
+	xt, ok := pass.TypesInfo.Types[x]
+	if !ok || !lintutil.IsErrorType(xt.Type) {
+		return
+	}
+	for _, clause := range ts.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, t := range cc.List {
+			tv, ok := pass.TypesInfo.Types[t]
+			if !ok || tv.Type == types.Typ[types.UntypedNil] {
+				continue
+			}
+			if lintutil.ImplementsError(tv.Type) {
+				pass.Reportf(ts.Pos(),
+					"type switch on an error misses wrapped values; use errors.As for each case type")
+				return
+			}
+		}
+	}
+}
+
+// checkLoop flags last-error-wins assignments: an error variable
+// declared outside the loop, plainly overwritten inside it, dropping
+// every failure but the final one.
+func checkLoop(pass *analysis.Pass, loop ast.Node, body *ast.BlockStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil || !lintutil.IsErrorType(obj.Type()) {
+			return true
+		}
+		// Only variables declared outside the loop accumulate across
+		// iterations.
+		if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+			return true
+		}
+		// `firstErr = err` is the dropped-aggregate shape; `err = f()`
+		// is the check-and-return shape, which the next statement
+		// handles.
+		switch ast.Unparen(as.Rhs[0]).(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		if usesIdent(as.Rhs[0], obj, pass) {
+			return true // x = wrap(x, ...) shapes keep the history
+		}
+		// A keep-first guard (`if x == nil { x = err }`) preserves one
+		// error deliberately; accept it.
+		for _, anc := range stack {
+			ifs, ok := anc.(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			if guardsNil(pass, ifs.Cond, obj) {
+				return true
+			}
+		}
+		pass.Reportf(as.Pos(),
+			"%s is overwritten on each failing iteration, dropping earlier errors; aggregate with %s = errors.Join(%s, ...) or keep the first under an explicit %s == nil guard",
+			lhs.Name, lhs.Name, lhs.Name, lhs.Name)
+		return true
+	})
+}
+
+// usesIdent reports whether expr references obj.
+func usesIdent(expr ast.Expr, obj types.Object, pass *analysis.Pass) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// guardsNil reports whether cond contains `obj == nil`.
+func guardsNil(pass *analysis.Pass, cond ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.EQL {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj {
+				continue
+			}
+			if tv, ok := pass.TypesInfo.Types[pair[1]]; ok && tv.IsNil() {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"riotshare/internal/lint/analysistest"
+	"riotshare/internal/lint/errclass"
+)
+
+// TestErrClass runs the analyzer over the minimized remote-shard
+// classification bug (sentinel ==, direct type asserts, last-error-wins
+// cleanup) and the compliant shapes around it.
+func TestErrClass(t *testing.T) {
+	analysistest.Run(t, "testdata/riotshare", errclass.Analyzer)
+}

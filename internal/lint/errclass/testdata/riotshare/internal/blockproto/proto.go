@@ -1,0 +1,12 @@
+// Package blockproto stubs the wire-error type the remote
+// classification fixture asserts on.
+package blockproto
+
+// ServerError mirrors the real protocol error carrying a status code.
+type ServerError struct {
+	Status int
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *ServerError) Error() string { return e.Msg }

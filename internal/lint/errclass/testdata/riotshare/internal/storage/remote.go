@@ -1,0 +1,118 @@
+// Package storage is a minimized fixture of the remote-shard
+// classification bug: sentinel comparisons with == read wrapped
+// transient failures as persistent and skipped the retry path, and a
+// cleanup loop kept only the last shard's error.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+
+	"riotshare/internal/blockproto"
+)
+
+// ErrShardUnavailable is the persistent-failure sentinel degraded
+// reads key off.
+var ErrShardUnavailable = errors.New("shard unavailable")
+
+// classifyBroken is the historical bug: the pool wraps errors before
+// they reach classification, so == never matches.
+func classifyBroken(err error) bool {
+	if err == ErrShardUnavailable { // want `sentinel comparison err == ErrShardUnavailable`
+		return false
+	}
+	if err != fs.ErrNotExist { // want `sentinel comparison err != fs\.ErrNotExist`
+		return true
+	}
+	return false
+}
+
+// classify is the fixed shape.
+func classify(err error) bool {
+	if errors.Is(err, ErrShardUnavailable) {
+		return false
+	}
+	return !errors.Is(err, fs.ErrNotExist)
+}
+
+// statusBroken asserts the concrete type directly, missing wrapped
+// server errors.
+func statusBroken(err error) int {
+	if se, ok := err.(*blockproto.ServerError); ok { // want `type assertion on an error misses wrapped values`
+		return se.Status
+	}
+	switch err.(type) { // want `type switch on an error misses wrapped values`
+	case *blockproto.ServerError:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// status is the fixed shape.
+func status(err error) int {
+	var se *blockproto.ServerError
+	if errors.As(err, &se) {
+		return se.Status
+	}
+	return 0
+}
+
+// closeAllBroken keeps only the last shard's close failure.
+func closeAllBroken(shards []interface{ Close() error }) error {
+	var last error
+	for _, s := range shards {
+		if err := s.Close(); err != nil {
+			last = err // want `last is overwritten on each failing iteration`
+		}
+	}
+	return last
+}
+
+// closeAll aggregates with errors.Join, naming every failed shard.
+func closeAll(shards []interface{ Close() error }) error {
+	var all error
+	for i, s := range shards {
+		if err := s.Close(); err != nil {
+			all = errors.Join(all, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return all
+}
+
+// closeKeepFirst preserves one error deliberately: accepted.
+func closeKeepFirst(shards []interface{ Close() error }) error {
+	var first error
+	for _, s := range shards {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// retryLoop re-assigns inside the loop for control flow, not
+// aggregation: the call-shaped RHS is the check-and-return idiom.
+func retryLoop(dial func() error) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = dial()
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Is lets a wrapped wire error match fs.ErrNotExist: the direct
+// comparisons here are the implementation of errors.Is, not misuse.
+func (e *notFoundError) Is(target error) bool {
+	return target == fs.ErrNotExist
+}
+
+// notFoundError adapts a remote miss to the fs sentinel.
+type notFoundError struct{ key string }
+
+// Error implements the error interface.
+func (e *notFoundError) Error() string { return "not found: " + e.key }

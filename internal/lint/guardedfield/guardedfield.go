@@ -1,0 +1,335 @@
+// Package guardedfield implements the riotvet analyzer that enforces
+// the repository's mutex-guarding convention on struct fields.
+//
+// # Invariant
+//
+// A field that belongs to a mutex's guarded group may only be read or
+// written while that mutex is held. A field joins a guarded group two
+// ways:
+//
+//   - explicitly, when its doc or line comment says "guarded by <mu>"
+//     naming a sibling mutex field, or
+//   - implicitly, when it is a map or slice declared in the same
+//     contiguous field group as (and after) a sync.Mutex/RWMutex field
+//     — the layout convention structs like telemetry.Registry,
+//     buffer.Pool, and server.Server already follow. A blank line or
+//     another mutex ends the group.
+//
+// An access is compliant when some enclosing function locks the same
+// mutex on the same receiver expression (`p.mu.Lock()`, `p.mu.RLock()`
+// or a TryLock variant — release placement is the lockio analyzer's
+// concern), when an enclosing named function is documented as running
+// under the lock (its name ends in "Locked" or its doc comment carries
+// //riotvet:locked), or when the struct value was constructed in the
+// same function and so cannot be shared yet.
+//
+// # Annotating exceptions
+//
+// A field that looks guarded but intentionally is not — say a map that
+// is immutable after construction — opts out with a trailing
+// `//riotvet:unguarded <reason>` comment on its declaration. A single
+// access that is safe for reasons the analyzer cannot see carries
+// `//riotvet:allow guardedfield — <reason>` on its line.
+//
+// # History
+//
+// PR 7 shipped the /metrics scrape race: telemetry.Registry's families
+// map was written under mu by registration but iterated lock-free by
+// the scrape path. The fix took the lock; this analyzer makes that
+// class of fix permanent.
+package guardedfield
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"riotshare/internal/lint/analysis"
+	"riotshare/internal/lint/lintutil"
+)
+
+// Analyzer flags accesses to mutex-guarded struct fields made without
+// holding the guarding mutex.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedfield",
+	Doc:  "mutex-guarded struct fields must be accessed with the mutex held",
+	Run:  run,
+}
+
+// guardedByRE extracts the mutex name from an explicit field comment.
+var guardedByRE = regexp.MustCompile(`guarded by (\*?\w+)`)
+
+// guard records one guarded field's protection contract.
+type guard struct {
+	muName     string     // guarding mutex field's name
+	structName string     // owning struct's type name, for messages
+	owner      types.Type // owning struct's named type
+	fieldName  string     // guarded field's name, for messages
+}
+
+// run applies the analyzer to one package.
+func run(pass *analysis.Pass) (any, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		checkFile(pass, file, guards)
+	}
+	return nil, nil
+}
+
+// collectGuards scans the package's struct declarations for guarded
+// fields, keyed by the field's types.Var.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
+	guards := make(map[*types.Var]guard)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			collectStruct(pass, ts.Name.Name, tn.Type(), st, guards)
+			return true
+		})
+	}
+	return guards
+}
+
+// collectStruct walks one struct's field list in declaration order,
+// tracking the mutex that opens the current contiguous field group.
+func collectStruct(pass *analysis.Pass, name string, owner types.Type, st *ast.StructType, guards map[*types.Var]guard) {
+	// mutexNames lets explicit "guarded by x" comments name any
+	// mutex-typed field regardless of position.
+	mutexNames := make(map[string]bool)
+	for _, f := range st.Fields.List {
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if !ok {
+			continue
+		}
+		if ok, _ := lintutil.IsMutex(tv.Type); ok {
+			for _, id := range f.Names {
+				mutexNames[id.Name] = true
+			}
+		}
+	}
+
+	groupMu := "" // mutex opening the current field group, "" when none
+	prevEnd := -1 // line the previous field ended on
+	for _, f := range st.Fields.List {
+		start := pass.Fset.Position(f.Pos()).Line
+		if f.Doc != nil {
+			start = pass.Fset.Position(f.Doc.Pos()).Line
+		}
+		if prevEnd >= 0 && start-prevEnd > 1 {
+			groupMu = "" // blank line: the guarded group ends
+		}
+		prevEnd = pass.Fset.Position(f.End()).Line
+		if f.Comment != nil {
+			prevEnd = pass.Fset.Position(f.Comment.End()).Line
+		}
+
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if !ok {
+			continue
+		}
+		if ok, _ := lintutil.IsMutex(tv.Type); ok {
+			if len(f.Names) > 0 {
+				groupMu = f.Names[0].Name
+			}
+			continue
+		}
+
+		comment := lintutil.FieldComment(f)
+		if strings.Contains(comment, "riotvet:unguarded") {
+			continue
+		}
+		mu := ""
+		if m := guardedByRE.FindStringSubmatch(comment); m != nil && mutexNames[strings.TrimPrefix(m[1], "*")] {
+			mu = strings.TrimPrefix(m[1], "*")
+		} else if groupMu != "" && implicitlyGuarded(tv.Type) {
+			mu = groupMu
+		}
+		if mu == "" {
+			continue
+		}
+		for _, id := range f.Names {
+			if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+				guards[v] = guard{muName: mu, structName: name, owner: owner, fieldName: id.Name}
+			}
+		}
+	}
+}
+
+// implicitlyGuarded reports whether adjacency alone guards a field of
+// this type: only maps and slices, the shapes whose unsynchronized use
+// is both common and memory-unsafe.
+func implicitlyGuarded(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// checkFile flags guarded-field accesses in one file.
+func checkFile(pass *analysis.Pass, file *ast.File, guards map[*types.Var]guard) {
+	// lockSets and constructed memoize per-function facts.
+	lockSets := make(map[ast.Node]map[string]bool)
+	constructed := make(map[ast.Node]map[types.Object]bool)
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, ok := guards[field]
+		if !ok {
+			return true
+		}
+
+		baseKey := types.ExprString(sel.X)
+		lockKey := baseKey + "." + g.muName
+		funcs := lintutil.EnclosingFuncs(file, sel.Pos())
+		if len(funcs) == 0 {
+			return true // package-level initializer: pre-sharing by construction
+		}
+		for _, fn := range funcs {
+			if fd, ok := fn.(*ast.FuncDecl); ok && lintutil.FuncMarkedLocked(fd) {
+				return true
+			}
+			if lockSet(pass, fn, lockSets)[lockKey] {
+				return true
+			}
+			if root := lintutil.RootIdent(sel.X); root != nil {
+				if obj := pass.TypesInfo.Uses[root]; obj != nil {
+					if constructedObjs(pass, fn, g, constructed)[obj] {
+						return true
+					}
+				}
+			}
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s.%s but accessed without holding it (lock it, name the function ...Locked, or annotate //riotvet:locked if every caller holds the lock)",
+			g.structName, g.fieldName, baseKey, g.muName)
+		return true
+	})
+}
+
+// lockSet returns the mutex keys a function acquires anywhere in its
+// own body, nested function literals excluded (their locks are taken
+// on a different activation's timeline).
+func lockSet(pass *analysis.Pass, fn ast.Node, memo map[ast.Node]map[string]bool) map[string]bool {
+	if s, ok := memo[fn]; ok {
+		return s
+	}
+	s := make(map[string]bool)
+	memo[fn] = s
+	body := lintutil.FuncBody(fn)
+	if body == nil {
+		return s
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lc, ok := lintutil.AsLockCall(pass.TypesInfo, call); ok && lc.Acquires() {
+			s[lc.Key] = true
+		}
+		return true
+	})
+	return s
+}
+
+// constructedObjs returns the local variables a function binds to a
+// fresh value of the guarded struct's type (composite literal, address
+// of one, or new(T)): accesses through them precede sharing, so no
+// lock is required yet.
+func constructedObjs(pass *analysis.Pass, fn ast.Node, g guard, memo map[ast.Node]map[types.Object]bool) map[types.Object]bool {
+	if s, ok := memo[fn]; ok {
+		return s
+	}
+	s := make(map[types.Object]bool)
+	memo[fn] = s
+	body := lintutil.FuncBody(fn)
+	if body == nil {
+		return s
+	}
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !isFreshValue(pass, rhs, g.owner) {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			s[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			s[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// isFreshValue reports whether expr constructs a new value of the
+// owner type: T{...}, &T{...}, or new(T).
+func isFreshValue(pass *analysis.Pass, expr ast.Expr, owner types.Type) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		return sameStruct(pass, e, owner)
+	case *ast.UnaryExpr:
+		if cl, ok := e.X.(*ast.CompositeLit); ok {
+			return sameStruct(pass, cl, owner)
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" && len(e.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[e.Args[0]]; ok {
+				return types.Identical(tv.Type, owner)
+			}
+		}
+	}
+	return false
+}
+
+// sameStruct reports whether the composite literal's type is the
+// guarded struct's type.
+func sameStruct(pass *analysis.Pass, cl *ast.CompositeLit, owner types.Type) bool {
+	tv, ok := pass.TypesInfo.Types[cl]
+	return ok && types.Identical(tv.Type, owner)
+}

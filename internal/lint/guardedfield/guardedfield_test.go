@@ -1,0 +1,15 @@
+package guardedfield_test
+
+import (
+	"testing"
+
+	"riotshare/internal/lint/analysistest"
+	"riotshare/internal/lint/guardedfield"
+)
+
+// TestGuardedField runs the analyzer over the minimized PR 7 scrape
+// race (telemetry.Registry's families map iterated lock-free) and the
+// compliant shapes around it.
+func TestGuardedField(t *testing.T) {
+	analysistest.Run(t, "testdata/riotshare", guardedfield.Analyzer)
+}

@@ -1,0 +1,99 @@
+// Package telemetry is a minimized fixture of the PR 7 /metrics scrape
+// race: a registry whose families map is written under mu by
+// registration but was iterated lock-free by the scrape path.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Registry mirrors the real telemetry.Registry's guarded layout.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]int
+	order    []string
+	limit    int // guarded by mu
+	// baseline is a plain scalar: adjacency alone does not guard it.
+	baseline int
+
+	// name is set at construction and never mutated; the blank line
+	// above ends mu's guarded group.
+	name string
+	// labels would look guarded if groups did not reset at mutexes,
+	// but it is immutable after New. //riotvet:unguarded set once
+	labels []string
+}
+
+// New constructs a registry; pre-sharing accesses need no lock.
+func New() *Registry {
+	r := &Registry{families: map[string]int{}}
+	r.families["up"] = 1 // constructor exemption: r is fresh
+	r.order = append(r.order, "up")
+	return r
+}
+
+// Register adds a family with the lock held: compliant.
+func (r *Registry) Register(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.families[name]++
+	r.order = append(r.order, name)
+	r.limit++
+}
+
+// Scrape is the historical bug: it walks the guarded map and slice
+// without taking the lock, racing concurrent Register calls.
+func (r *Registry) Scrape(w io.Writer) {
+	for _, name := range r.order { // want `Registry\.order is guarded by r\.mu`
+		fmt.Fprintf(w, "%s %d\n", name, r.families[name]) // want `Registry\.families is guarded by r\.mu`
+	}
+	if r.limit > 0 { // want `Registry\.limit is guarded by r\.mu`
+		fmt.Fprintln(w, "truncated")
+	}
+	_ = r.baseline // scalar outside the contract: no diagnostic
+	_ = r.name     // group ended by the blank line: no diagnostic
+	_ = r.labels   // riotvet:unguarded opt-out: no diagnostic
+}
+
+// ScrapeLocked is the documented caller-holds-the-lock shape.
+func (r *Registry) ScrapeLocked(w io.Writer) {
+	for _, name := range r.order {
+		fmt.Fprintf(w, "%s %d\n", name, r.families[name])
+	}
+}
+
+// snapshot is annotated as running under the lock.
+//
+//riotvet:locked — called only from Register and Scrape with mu held
+func (r *Registry) snapshot() []string {
+	return append([]string(nil), r.order...)
+}
+
+// RLockedRead shows an RWMutex read path holding the read lock.
+type Gauges struct {
+	rw     sync.RWMutex
+	values map[string]float64
+}
+
+// Get reads under RLock: compliant.
+func (g *Gauges) Get(name string) float64 {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.values[name]
+}
+
+// Sum forgets the lock entirely.
+func (g *Gauges) Sum() float64 {
+	var s float64
+	for _, v := range g.values { // want `Gauges\.values is guarded by g\.rw`
+		s += v
+	}
+	return s
+}
+
+// SumAllowed documents a single intentionally lock-free access.
+func (g *Gauges) SumAllowed() int {
+	return len(g.values) //riotvet:allow guardedfield — racy size hint is fine for logging
+}

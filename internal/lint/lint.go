@@ -1,0 +1,24 @@
+// Package lint assembles the riotvet analyzer suite: the
+// project-invariant checks that turn conventions fixed by hand in past
+// review cycles into build failures. See docs/static-analysis.md for
+// each analyzer's invariant, the historical bug behind it, and the
+// annotations that mark intentional exceptions.
+package lint
+
+import (
+	"riotshare/internal/lint/analysis"
+	"riotshare/internal/lint/ctxflow"
+	"riotshare/internal/lint/errclass"
+	"riotshare/internal/lint/guardedfield"
+	"riotshare/internal/lint/lockio"
+)
+
+// Suite returns the full riotvet analyzer suite in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		guardedfield.Analyzer,
+		lockio.Analyzer,
+		ctxflow.Analyzer,
+		errclass.Analyzer,
+	}
+}

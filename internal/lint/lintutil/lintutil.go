@@ -1,0 +1,226 @@
+// Package lintutil holds the type- and syntax-probing helpers shared
+// by the riotvet analyzers: recognizing sync mutexes and their
+// Lock/Unlock call shapes, canonicalizing the expressions mutexes and
+// guarded fields hang off, finding the functions that enclose a node,
+// and reading the per-field / per-function annotations
+// (`// guarded by mu`, `//riotvet:locked`, `//riotvet:iolock`,
+// `//riotvet:unguarded`) that let code document intentional exceptions
+// instead of suppressing a check.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// IsMutex reports whether t (or the type it points to) is sync.Mutex
+// or sync.RWMutex, and whether it is the RW variant.
+func IsMutex(t types.Type) (ok, rw bool) {
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// LockCall describes one call to a sync.Mutex/RWMutex method.
+type LockCall struct {
+	// Recv is the receiver expression, e.g. `p.mu` in `p.mu.Lock()`.
+	Recv ast.Expr
+
+	// Key is Recv canonicalized with types.ExprString, the identity
+	// under which held-lock bookkeeping tracks this mutex.
+	Key string
+
+	// Method is the called method: Lock, RLock, TryLock, TryRLock,
+	// Unlock, or RUnlock.
+	Method string
+}
+
+// AsLockCall recognizes a call expression as a mutex method call. It
+// matches only direct selector calls (`x.mu.Lock()`), which is how every
+// lock site in this repository is written; calls through method values
+// or interfaces are not tracked.
+func AsLockCall(info *types.Info, call *ast.CallExpr) (LockCall, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return LockCall{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return LockCall{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return LockCall{}, false
+	}
+	if ok, _ := IsMutex(tv.Type); !ok {
+		return LockCall{}, false
+	}
+	return LockCall{Recv: sel.X, Key: types.ExprString(sel.X), Method: sel.Sel.Name}, true
+}
+
+// Acquires reports whether the method takes the lock (in any mode).
+func (c LockCall) Acquires() bool {
+	switch c.Method {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// Releases reports whether the method drops the lock.
+func (c LockCall) Releases() bool {
+	return c.Method == "Unlock" || c.Method == "RUnlock"
+}
+
+// FuncMarkedLocked reports whether fn documents that its caller holds
+// the relevant lock: its name ends in "Locked" or its doc comment
+// contains a riotvet:locked annotation.
+func FuncMarkedLocked(fn *ast.FuncDecl) bool {
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return true
+	}
+	return commentHas(fn.Doc, "riotvet:locked")
+}
+
+// commentHas reports whether any line of the comment group contains
+// the marker.
+func commentHas(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldComment returns the text of a struct field's doc and trailing
+// line comments, joined; empty when the field has neither.
+func FieldComment(field *ast.Field) string {
+	var parts []string
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg != nil {
+			parts = append(parts, cg.Text())
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// EnclosingFuncs returns the stack of function declarations and
+// literals in file that contain pos, outermost first. An empty result
+// means pos sits in package-level scope (a var initializer, say).
+func EnclosingFuncs(file *ast.File, pos token.Pos) []ast.Node {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return n == nil
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			stack = append(stack, n)
+		}
+		return true
+	})
+	return stack
+}
+
+// FuncBody returns the body of a node returned by EnclosingFuncs.
+func FuncBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// PathIn reports whether the package path names one of the given
+// project subtrees: an exact match on "riotshare/internal/<name>" or
+// any path ending in "/internal/<name>", so analyzer fixtures under
+// testdata modules resolve the same way the real tree does.
+func PathIn(pkgPath string, names ...string) bool {
+	for _, name := range names {
+		if pkgPath == "riotshare/internal/"+name || strings.HasSuffix(pkgPath, "/internal/"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsErrorType reports whether t is exactly the built-in error
+// interface type.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// ImplementsError reports whether t satisfies the error interface.
+func ImplementsError(t types.Type) bool {
+	iface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return iface != nil && types.Implements(t, iface)
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// CalleeFunc resolves the called function or method object of a call
+// expression, nil when the callee is not a named function (a func
+// value, a conversion, or a builtin).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// RootIdent returns the leftmost identifier of a selector chain
+// (`s` for `s.pool.frames`), or nil when the chain is rooted in a call
+// or other non-identifier expression.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package load turns Go package patterns into type-checked
+// analysis.Units without depending on golang.org/x/tools/go/packages.
+//
+// It shells out to `go list -export -json -deps`, which compiles every
+// dependency's export data into the build cache, then parses only the
+// target packages' source and type-checks them against that export
+// data via the standard library's gc importer. This is the same
+// division of labour go/packages uses in LoadTypes|NeedSyntax mode:
+// full syntax for the packages under analysis, compiler export data
+// for everything beneath them, so loading stays fast and entirely
+// offline.
+//
+// Only non-test GoFiles are loaded; the riotvet analyzers skip
+// _test.go diagnostics anyway (tests poke invariants deliberately),
+// and test packages reach the analyzers through `go vet
+// -vettool=riotvet`, where the go command supplies the test variants
+// itself.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"riotshare/internal/lint/analysis"
+)
+
+// A Package is one type-checked target package: its import path, root
+// directory, and the analysis.Unit handed to analyzers.
+type Package struct {
+	// ImportPath is the package's canonical import path.
+	ImportPath string
+
+	// Dir is the directory holding the package's source files.
+	Dir string
+
+	// Unit is the parsed, type-checked view shared with analyzers.
+	Unit *analysis.Unit
+}
+
+// listJSON is the subset of `go list -json` output the loader needs.
+type listJSON struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct {
+		Pos string
+		Err string
+	}
+}
+
+// Packages loads, parses, and type-checks the packages matching
+// patterns, resolved relative to dir (the module root or any directory
+// inside it). Dependencies — standard library included — are imported
+// from compiler export data, so no network or pre-installed archives
+// are required. The returned packages share one token.FileSet and are
+// sorted by import path.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listJSON
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listJSON
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			cp := p
+			targets = append(targets, &cp)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("go list %s: no packages matched", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		unit, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{ImportPath: t.ImportPath, Dir: t.Dir, Unit: unit})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// check parses one target package's files and type-checks them against
+// export data, returning the populated analysis unit.
+func check(fset *token.FileSet, imp types.Importer, t *listJSON) (*analysis.Unit, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(t.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", t.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var tcErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { tcErrs = append(tcErrs, err) },
+	}
+	pkg, _ := conf.Check(t.ImportPath, fset, files, info)
+	if len(tcErrs) > 0 {
+		return nil, fmt.Errorf("%s: type checking failed: %w", t.ImportPath, errors.Join(tcErrs...))
+	}
+	return &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,14 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"riotshare/internal/lint/analysistest"
+	"riotshare/internal/lint/lockio"
+)
+
+// TestLockIO runs the analyzer over the minimized PR 9 ReleaseBlock
+// write-back stall and the compliant shapes around it.
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, "testdata/riotshare", lockio.Analyzer)
+}

@@ -1,0 +1,12 @@
+// Package storage stubs the real storage.Backend surface so the
+// lockio fixture exercises the same call shapes the production pool
+// makes.
+package storage
+
+// Backend is the block-I/O interface the buffer pool writes through.
+type Backend interface {
+	ReadBlock(array string, r, c int64) ([]byte, error)
+	WriteBlock(array string, r, c int64, data []byte) error
+	Create(array string) error
+	Drop(array string) error
+}

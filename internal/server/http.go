@@ -229,7 +229,7 @@ func ListenAndServe(ctx context.Context, addr string, cfg Config) error {
 		return err
 	case <-ctx.Done():
 	}
-	shctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	shctx, cancel := context.WithTimeout(context.Background(), 15*time.Second) //riotvet:allow ctxflow — shutdown deadline must outlive the canceled serve ctx
 	defer cancel()
 	if err := hs.Shutdown(shctx); err != nil {
 		srv.Close()

@@ -597,7 +597,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PlanImprover {
 		s.mImprove = reg.Histogram("riotshare_plan_improver_seconds",
 			"Background full-search planning time per improver run.", nil)
-		ictx, cancel := context.WithCancel(context.Background())
+		ictx, cancel := context.WithCancel(context.Background()) //riotvet:allow ctxflow — server-lifetime improver loop; canceled by Close, not by any one query
 		s.impCancel = cancel
 		s.impCh = make(chan improveJob, 64)
 		s.impWG.Add(1)
@@ -707,13 +707,15 @@ func (s *Server) Submit(req Request) (string, error) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 	s.tenantMu.Lock()
-	s.tenant(req.Tenant).submitted++
+	s.tenantLocked(req.Tenant).submitted++
 	s.tenantMu.Unlock()
 	go s.run(q)
 	return q.id, nil
 }
 
-func (s *Server) tenant(name string) *tenantCounters {
+// tenantLocked returns (creating on first use) the per-tenant counters;
+// every caller holds s.tenantMu.
+func (s *Server) tenantLocked(name string) *tenantCounters {
 	tc := s.tenants[name]
 	if tc == nil {
 		tc = &tenantCounters{}
@@ -805,10 +807,10 @@ func (s *Server) plans(req Request, p *prog.Program, subsets [][]string) (*core.
 	var err error
 	switch {
 	case subsets != nil:
-		res, err = core.OptimizeSubsetsCtx(context.Background(), p, core.Options{BindParams: true}, subsets)
+		res, err = core.OptimizeSubsetsCtx(context.Background(), p, core.Options{BindParams: true}, subsets) //riotvet:allow ctxflow — plan fill is shared by every waiter on the cache entry; one query's cancellation must not poison it
 	case s.cfg.PlanBudget > 0:
 		tier = tierGreedy
-		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PlanBudget)
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PlanBudget) //riotvet:allow ctxflow — budget-bounded shared plan fill; see above
 		res, err = core.OptimizeGreedy(ctx, p, core.Options{BindParams: true})
 		expired := err != nil && ctx.Err() != nil
 		cancel()
@@ -816,10 +818,10 @@ func (s *Server) plans(req Request, p *prog.Program, subsets [][]string) (*core.
 			// The budget ran out before even the baseline was planned;
 			// plan just the baseline without a deadline so the query
 			// still runs (and the improver can upgrade it later).
-			res, err = core.OptimizeSubsetsCtx(context.Background(), p, core.Options{BindParams: true}, nil)
+			res, err = core.OptimizeSubsetsCtx(context.Background(), p, core.Options{BindParams: true}, nil) //riotvet:allow ctxflow — baseline rescue of the shared plan fill; see above
 		}
 	default:
-		res, err = core.OptimizeCtx(context.Background(), p, core.Options{BindParams: true})
+		res, err = core.OptimizeCtx(context.Background(), p, core.Options{BindParams: true}) //riotvet:allow ctxflow — full-search shared plan fill; see above
 	}
 
 	s.planMu.Lock()
@@ -978,7 +980,7 @@ func (s *Server) run(q *query) {
 	s.finished++
 	s.mu.Unlock()
 	s.tenantMu.Lock()
-	s.tenant(q.req.Tenant).finished++
+	s.tenantLocked(q.req.Tenant).finished++
 	s.tenantMu.Unlock()
 	for _, v := range victims {
 		s.dropOutputs(v)
@@ -1057,7 +1059,7 @@ func (s *Server) runQuery(q *query) (retErr error) {
 	sp.End()
 	defer s.gov.Release(q.req.Tenant, peak)
 	s.tenantMu.Lock()
-	tc := s.tenant(q.req.Tenant)
+	tc := s.tenantLocked(q.req.Tenant)
 	tc.admissions++
 	tc.waitTotal += time.Since(enqueued)
 	s.tenantMu.Unlock()
@@ -1467,7 +1469,7 @@ func (q *query) statusCopy() QueryStatus {
 
 // Wait blocks until the query finishes and returns its final status.
 func (s *Server) Wait(id string) (QueryStatus, error) {
-	return s.WaitCtx(context.Background(), id)
+	return s.WaitCtx(context.Background(), id) //riotvet:allow ctxflow — compatibility wrapper; cancelable callers use WaitCtx
 }
 
 // WaitCtx blocks until the query finishes or ctx is canceled; on

@@ -548,7 +548,7 @@ func (s *Server) waitBlockReady(ctx context.Context, q *query, key string) error
 // embedders. It blocks until the stream completes or fails; use
 // StreamToCtx to bound how long that can be.
 func (s *Server) StreamTo(w io.Writer, id string, chunkBlocks int) error {
-	return s.StreamToCtx(context.Background(), w, id, chunkBlocks)
+	return s.StreamToCtx(context.Background(), w, id, chunkBlocks) //riotvet:allow ctxflow — compatibility wrapper; cancelable callers use StreamToCtx
 }
 
 // StreamToCtx is StreamTo with a cancellation hook: canceling ctx aborts

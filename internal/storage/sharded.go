@@ -227,7 +227,8 @@ type ShardedManager struct {
 	// writers hold it shared for the duration of a replica-set write,
 	// Repair holds it exclusive around each (read replica, write target)
 	// pair, so a copy of an older replica value can never land on top of
-	// a newer concurrent write.
+	// a newer concurrent write. It exists precisely to serialize that
+	// block I/O. //riotvet:iolock
 	healMu sync.RWMutex
 
 	mu       sync.Mutex
@@ -322,6 +323,9 @@ func OpenSharded(specs []string, opt ShardedOptions) (*ShardedManager, error) {
 // shard otherwise. Array entries that diverge across surviving shards (a
 // crash between manifest writes) are dropped from the effective catalog so
 // their inputs get refilled instead of served stale.
+//
+// Runs only from Open, before the manager is shared, so it touches
+// sm.catalog without sm.mu. //riotvet:locked
 func (sm *ShardedManager) loadManifests() error {
 	manifests := make([]*manifest, len(sm.shards))
 	lost := make([]error, len(sm.shards)) // why shard i has no usable manifest
@@ -443,6 +447,9 @@ func (sm *ShardedManager) uncoveredPrimary() int {
 // data is gone, and refilling beats silently serving zeros from a fresh
 // file. Degraded shards are not consulted — their blocks live on the
 // surviving replicas.
+//
+// Runs only from Open, before the manager is shared, so it touches
+// sm.catalog without sm.mu. //riotvet:locked
 func (sm *ShardedManager) reopenCatalog() error {
 	for name, e := range sm.catalog {
 		intact := true

@@ -295,7 +295,9 @@ func keyEscape(b *strings.Builder, s string) {
 	}
 }
 
-func (r *Registry) getFamily(name, help, kind string, buckets []float64) *family {
+// getFamilyLocked returns (registering on first use) the named metric
+// family; every caller holds r.mu.
+func (r *Registry) getFamilyLocked(name, help, kind string, buckets []float64) *family {
 	f, ok := r.families[name]
 	if !ok {
 		f = &family{name: name, help: help, kind: kind, buckets: buckets, series: map[string]*series{}}
@@ -345,7 +347,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := r.getFamily(name, help, kindCounter, nil).getSeries(labels)
+	s := r.getFamilyLocked(name, help, kindCounter, nil).getSeries(labels)
 	if s.ctr == nil {
 		s.ctr = &Counter{}
 	}
@@ -360,7 +362,7 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := r.getFamily(name, help, kindGauge, nil).getSeries(labels)
+	s := r.getFamilyLocked(name, help, kindGauge, nil).getSeries(labels)
 	if s.gauge == nil {
 		s.gauge = &Gauge{}
 	}
@@ -379,7 +381,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := r.getFamily(name, help, kindHistogram, buckets).getSeries(labels)
+	s := r.getFamilyLocked(name, help, kindHistogram, buckets).getSeries(labels)
 	if s.hist == nil {
 		h := &Histogram{uppers: buckets}
 		h.counts = make([]atomic.Int64, len(buckets)+1)

@@ -166,6 +166,10 @@ func OptimizeGreedy(ctx context.Context, p *Program, opt Options) (*Result, erro
 // §7 future-work extension).
 var OptimizeBlockSize = core.OptimizeBlockSize
 
+// OptimizeBlockSizeCtx is OptimizeBlockSize with cancellation: a deadline
+// or shutdown interrupts the per-scale sweep.
+var OptimizeBlockSizeCtx = core.OptimizeBlockSizeCtx
+
 // DiskModel converts I/O volumes to estimated seconds.
 type DiskModel = disk.Model
 

@@ -32,15 +32,35 @@ WORK=$(mktemp -d)
 BIN="$WORK/bin"
 PIDS=()
 
+CLEANED=0
 cleanup() {
-    # Kill whatever is still running, then the work dir.
+    # Idempotent: EXIT fires after an INT/TERM-initiated exit too.
+    [ "$CLEANED" = 1 ] && return 0
+    CLEANED=1
+    # TERM whatever is still running; escalate to KILL for anything that
+    # ignores it (a wedged server must not hang CI), then the work dir.
     for pid in "${PIDS[@]:-}"; do
         kill "$pid" 2>/dev/null || true
+    done
+    for _ in $(seq 1 20); do
+        local live=0
+        for pid in "${PIDS[@]:-}"; do
+            kill -0 "$pid" 2>/dev/null && live=1
+        done
+        [ "$live" = 0 ] && break
+        sleep 0.1
+    done
+    for pid in "${PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
     done
     wait 2>/dev/null || true
     rm -rf "$WORK"
 }
 trap cleanup EXIT
+# Ctrl-C / runner cancellation: clean up, then die by the conventional
+# signal exit code. The EXIT trap is a no-op afterwards.
+trap 'cleanup; exit 130' INT
+trap 'cleanup; exit 143' TERM
 
 fail() { echo "remote_smoke: FAIL: $*" >&2; exit 1; }
 
@@ -79,7 +99,7 @@ start_shared() {
     SHARED_PID=$!
     PIDS+=("$SHARED_PID")
     for _ in $(seq 1 100); do
-        if curl -sf "$ADDR/stats" >/dev/null 2>&1; then return 0; fi
+        if curl -sf --max-time 10 "$ADDR/stats" >/dev/null 2>&1; then return 0; fi
         sleep 0.1
     done
     fail "riotshared did not come up on :$HTTP_PORT"
@@ -91,7 +111,7 @@ submit_query() {
     id=$("$BIN/riotshared" submit -addr "$ADDR" -prog addmul -mem 1000 |
         sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
     [ -n "$id" ] || fail "submit returned no query id"
-    state=$(curl -sf "$ADDR/results?id=$id&wait=1" |
+    state=$(curl -sf --max-time 10 "$ADDR/results?id=$id&wait=1" |
         sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' | head -1)
     [ "$state" = "done" ] || fail "query $id finished in state '$state'"
     echo "$id"
@@ -99,13 +119,13 @@ submit_query() {
 
 # stat_field name — extract an integer field from /stats (0 when absent).
 stat_field() {
-    curl -sf "$ADDR/stats" | sed -n "s/.*\"$1\": *\([0-9]*\).*/\1/p" | head -1
+    curl -sf --max-time 10 "$ADDR/stats" | sed -n "s/.*\"$1\": *\([0-9]*\).*/\1/p" | head -1
 }
 
 # metrics_get url — fetch a /metrics endpoint, fail unless every line is
 # valid Prometheus text exposition, and print the body.
 metrics_get() {
-    curl -sf "$1" > "$WORK/metrics.txt" || fail "GET $1 failed"
+    curl -sf --max-time 10 "$1" > "$WORK/metrics.txt" || fail "GET $1 failed"
     grep -vE '^# (HELP|TYPE) ' "$WORK/metrics.txt" |
         grep -qvE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+-]+$' &&
         fail "unparseable Prometheus exposition from $1"
@@ -125,7 +145,7 @@ echo "== query end to end on the healthy fleet"
 qid=$(submit_query)
 
 echo "== streamed results must match the whole fetch bit for bit"
-whole_sum=$(curl -sf "$ADDR/results?id=$qid" |
+whole_sum=$(curl -sf --max-time 10 "$ADDR/results?id=$qid" |
     sed -n 's/.*"sum": *\([^,}]*\).*/\1/p' | head -1)
 [ -n "$whole_sum" ] || fail "no output sum in /results for $qid"
 stream_sum=$("$BIN/riotshared" results -addr "$ADDR" -id "$qid" \
@@ -153,7 +173,7 @@ submit_query >/dev/null
 degraded=$(stat_field degradedReads)
 [ -n "$degraded" ] && [ "$degraded" -gt 0 ] ||
     fail "expected degradedReads > 0 after killing shard 1, got '${degraded:-0}'"
-curl -sf "$ADDR/stats" | grep -q '"degraded": *true' ||
+curl -sf --max-time 10 "$ADDR/stats" | grep -q '"degraded": *true' ||
     fail "expected a degraded shard in /stats"
 metrics_get "$ADDR/metrics" |
     awk '/^riotshare_shard_degraded_reads_total/ {s += $NF} END {exit !(s > 0)}' ||
@@ -163,7 +183,7 @@ echo "   degradedReads=$degraded"
 echo "== restart the server, repair shard 1, verify healthy"
 start_blockd 1
 "$BIN/riotshared" repair -addr "$ADDR" -shard 1 || fail "repair failed"
-curl -sf "$ADDR/stats" | grep -q '"degraded": *true' &&
+curl -sf --max-time 10 "$ADDR/stats" | grep -q '"degraded": *true' &&
     fail "shard still degraded after repair"
 submit_query >/dev/null
 
